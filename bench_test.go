@@ -1,0 +1,251 @@
+package refer
+
+import (
+	"testing"
+	"time"
+
+	"refer/internal/energy"
+	"refer/internal/experiment"
+	"refer/internal/kautz"
+	"refer/internal/world"
+)
+
+// quickOpts shrinks a figure sweep to one seed and short windows so the
+// bench suite regenerates every figure's structure in seconds. Paper-scale
+// numbers come from `refer-bench -full` (see EXPERIMENTS.md).
+func quickOpts() Options {
+	return Options{
+		Seeds:    []int64{1},
+		Warmup:   100 * time.Second,
+		Duration: 150 * time.Second,
+		Sensors:  150,
+	}
+}
+
+func benchFigure(b *testing.B, build func(Options) (Figure, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		fig, err := build(quickOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// ---- One benchmark per evaluation figure (Section IV) ----
+
+// BenchmarkFig4MobilityThroughput regenerates Figure 4: QoS throughput vs
+// node mobility for all four systems.
+func BenchmarkFig4MobilityThroughput(b *testing.B) { benchFigure(b, Fig4) }
+
+// BenchmarkFig5MobilityEnergy regenerates Figure 5: communication energy vs
+// node mobility.
+func BenchmarkFig5MobilityEnergy(b *testing.B) { benchFigure(b, Fig5) }
+
+// BenchmarkFig6FaultDelay regenerates Figure 6: transmission delay vs
+// number of faulty nodes.
+func BenchmarkFig6FaultDelay(b *testing.B) { benchFigure(b, Fig6) }
+
+// BenchmarkFig7FaultThroughput regenerates Figure 7: QoS throughput vs
+// number of faulty nodes.
+func BenchmarkFig7FaultThroughput(b *testing.B) { benchFigure(b, Fig7) }
+
+// BenchmarkFig8ScaleDelay regenerates Figure 8: transmission delay vs
+// network size.
+func BenchmarkFig8ScaleDelay(b *testing.B) { benchFigure(b, Fig8) }
+
+// BenchmarkFig9ScaleEnergy regenerates Figure 9: communication energy vs
+// network size.
+func BenchmarkFig9ScaleEnergy(b *testing.B) { benchFigure(b, Fig9) }
+
+// BenchmarkFig10ConstructionEnergy regenerates Figure 10: topology
+// construction energy vs network size.
+func BenchmarkFig10ConstructionEnergy(b *testing.B) { benchFigure(b, Fig10) }
+
+// BenchmarkFig11TotalEnergy regenerates Figure 11: total energy vs network
+// size.
+func BenchmarkFig11TotalEnergy(b *testing.B) { benchFigure(b, Fig11) }
+
+// ---- Ablation benches (design-choice studies from DESIGN.md) ----
+
+// BenchmarkAblationFailover compares REFER with and without the Theorem 3.8
+// alternate-path failover under faults.
+func BenchmarkAblationFailover(b *testing.B) {
+	benchFigure(b, experiment.AblationFailover)
+}
+
+// BenchmarkAblationMaintenance compares REFER with and without the
+// awake/wait/sleep maintenance under mobility.
+func BenchmarkAblationMaintenance(b *testing.B) {
+	benchFigure(b, experiment.AblationMaintenance)
+}
+
+// ---- Single-system end-to-end runs ----
+
+func benchRun(b *testing.B, system string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(RunConfig{
+			System:   system,
+			Scenario: ScenarioParams{Seed: int64(i + 1), Sensors: 200, MaxSpeed: 3},
+			Warmup:   100 * time.Second,
+			Duration: 200 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered == 0 {
+			b.Fatal("no deliveries")
+		}
+	}
+}
+
+// BenchmarkRunREFER simulates 300 s of the default scenario under REFER.
+func BenchmarkRunREFER(b *testing.B) { benchRun(b, SystemREFER) }
+
+// BenchmarkRunDaTree simulates 300 s of the default scenario under DaTree.
+func BenchmarkRunDaTree(b *testing.B) { benchRun(b, SystemDaTree) }
+
+// BenchmarkRunDDEAR simulates 300 s of the default scenario under D-DEAR.
+func BenchmarkRunDDEAR(b *testing.B) { benchRun(b, SystemDDEAR) }
+
+// BenchmarkRunKautzOverlay simulates 300 s under the Kautz overlay.
+func BenchmarkRunKautzOverlay(b *testing.B) { benchRun(b, SystemKautzOverlay) }
+
+// ---- Microbenchmarks of the primitives ----
+
+// BenchmarkKautzRoutesK23 measures the per-forwarding-decision cost of the
+// Theorem 3.8 route computation in the paper's cell graph K(2,3).
+func BenchmarkKautzRoutesK23(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := kautz.Routes(2, "021", "201"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKautzRoutesK44 measures the same on the paper's Figure 2 graph.
+func BenchmarkKautzRoutesK44(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := kautz.Routes(4, "0123", "2301"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGreedyNext measures one greedy shortest-protocol hop decision.
+func BenchmarkGreedyNext(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := kautz.GreedyNext("12345", "34501"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphEnumerationK44 measures enumerating K(4,4) (320 nodes).
+func BenchmarkGraphEnumerationK44(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := kautz.New(4, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHamiltonianCycleK25 measures the line-digraph Eulerian
+// construction on K(2,5) (48 nodes).
+func BenchmarkHamiltonianCycleK25(b *testing.B) {
+	g, err := kautz.New(2, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.HamiltonianCycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinVertexCutK23 measures the Menger max-flow check used by the
+// Lemma 3.1 tests.
+func BenchmarkMinVertexCutK23(b *testing.B) {
+	g, err := kautz.New(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.MinVertexCut("012", "201"); got != 2 {
+			b.Fatalf("cut = %d", got)
+		}
+	}
+}
+
+// BenchmarkWorldSend measures one radio transmission through the simulator
+// (scheduling, carrier sense, energy accounting).
+func BenchmarkWorldSend(b *testing.B) {
+	w := BuildWorld(ScenarioParams{Seed: 1, Sensors: 200})
+	sensors := SensorIDs(w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Send(sensors[i%100], sensors[(i+1)%100], energy.Communication, nil)
+		if i%64 == 0 {
+			w.Sched.Run()
+		}
+	}
+}
+
+// BenchmarkWorldFlood measures one TTL-4 flood over the default deployment.
+func BenchmarkWorldFlood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := BuildWorld(ScenarioParams{Seed: int64(i), Sensors: 200})
+		src := SensorIDs(w)[0]
+		b.StartTimer()
+		w.Flood(src, 4, energy.Communication, nil, nil)
+		w.Sched.Run()
+	}
+}
+
+// BenchmarkREFERBuild measures the full Kautz graph embedding protocol.
+func BenchmarkREFERBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := BuildWorld(ScenarioParams{Seed: int64(i + 1), Sensors: 200})
+		b.StartTimer()
+		sys := NewREFER(w)
+		if err := sys.Build(); err != nil {
+			b.Fatal(err)
+		}
+		sys.StopMaintenance()
+		w.Sched.Run()
+	}
+}
+
+// BenchmarkREFERInject measures one end-to-end REFER delivery including all
+// simulator work.
+func BenchmarkREFERInject(b *testing.B) {
+	w := BuildWorld(ScenarioParams{Seed: 1, Sensors: 200})
+	sys := NewREFER(w)
+	if err := sys.Build(); err != nil {
+		b.Fatal(err)
+	}
+	sys.StopMaintenance()
+	w.Sched.Run()
+	srcs := make([]world.NodeID, 0, 4)
+	for _, c := range sys.Cells() {
+		srcs = append(srcs, c.NodeByKID["021"])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delivered := false
+		sys.Inject(srcs[i%len(srcs)], func(ok bool) { delivered = ok })
+		w.Sched.Run()
+		if !delivered {
+			b.Fatal("drop")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command kautz-explore prints the Theorem 3.8 routing structure between
+// two nodes of a Kautz graph: the d disjoint paths, their classes, nominal
+// and concrete lengths — the computation a REFER relay performs on every
+// forwarding decision.
+//
+// Usage:
+//
+//	kautz-explore -d 4 -u 0123 -v 2301      # the paper's Figure 2(a)
+//	kautz-explore -d 2 -k 3                 # enumerate K(2,3) and its arcs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"refer"
+)
+
+func main() {
+	var (
+		d = flag.Int("d", 4, "Kautz degree")
+		k = flag.Int("k", 0, "diameter (only for graph enumeration; inferred from -u otherwise)")
+		u = flag.String("u", "", "source Kautz ID")
+		v = flag.String("v", "", "destination Kautz ID")
+	)
+	flag.Parse()
+
+	if *u == "" || *v == "" {
+		kk := *k
+		if kk == 0 {
+			kk = 3
+		}
+		g, err := refer.NewGraph(*d, kk)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("K(%d,%d): %d nodes, diameter %d\n", *d, kk, g.N(), g.Diameter())
+		for _, node := range g.Nodes() {
+			fmt.Printf("  %s → %v\n", node, g.Successors(node))
+		}
+		return
+	}
+
+	src, err := refer.ParseID(*u)
+	if err != nil {
+		fail(err)
+	}
+	dst, err := refer.ParseID(*v)
+	if err != nil {
+		fail(err)
+	}
+	routes, err := refer.Routes(*d, src, dst)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s → %s in K(%d,%d): distance %d, %d disjoint paths\n",
+		src, dst, *d, len(src), refer.KautzDistance(src, dst), len(routes))
+	for i, r := range routes {
+		fmt.Printf("%d. via %s  [%s, out-digit %d, nominal %d, actual %d]\n   %v\n",
+			i+1, r.Successor, r.Class, r.OutDigit, r.NominalLen, r.Len(), r.Path)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kautz-explore:", err)
+	os.Exit(1)
+}

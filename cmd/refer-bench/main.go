@@ -1,0 +1,100 @@
+// Command refer-bench regenerates the paper's evaluation figures (4–11) as
+// text tables: each cell is mean ± 95 % CI over the seed set.
+//
+// Usage:
+//
+//	refer-bench                 # quick pass: 3 seeds, 300 s windows
+//	refer-bench -full           # paper-scale: 5 seeds, 1000 s windows
+//	refer-bench -fig 4 -fig 5   # only selected figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"refer"
+	"refer/internal/experiment"
+)
+
+type figList []string
+
+func (f *figList) String() string { return strings.Join(*f, ",") }
+
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var (
+		full   = flag.Bool("full", false, "paper-scale runs (5 seeds, 1000 s windows)")
+		seeds  = flag.Int("seeds", 0, "override the number of seeds")
+		extras = flag.Bool("extras", false, "also run the ablation (A1, A2) and extension (E1–E3) studies")
+		csvDir = flag.String("csv", "", "also write each figure as <dir>/fig<ID>.csv")
+		figs   figList
+	)
+	flag.Var(&figs, "fig", "figure to regenerate (repeatable; default all)")
+	flag.Parse()
+
+	opts := refer.Options{
+		Seeds:    []int64{1, 2, 3},
+		Warmup:   100 * time.Second,
+		Duration: 300 * time.Second,
+	}
+	if *full {
+		opts.Seeds = []int64{1, 2, 3, 4, 5}
+		opts.Duration = 1000 * time.Second
+	}
+	if *seeds > 0 {
+		opts.Seeds = opts.Seeds[:0]
+		for i := 1; i <= *seeds; i++ {
+			opts.Seeds = append(opts.Seeds, int64(i))
+		}
+	}
+
+	builders := map[string]func(refer.Options) (refer.Figure, error){
+		"4": refer.Fig4, "5": refer.Fig5, "6": refer.Fig6, "7": refer.Fig7,
+		"8": refer.Fig8, "9": refer.Fig9, "10": refer.Fig10, "11": refer.Fig11,
+	}
+	order := []string{"4", "5", "6", "7", "8", "9", "10", "11"}
+	if *extras {
+		builders["A1"] = experiment.AblationFailover
+		builders["A2"] = experiment.AblationMaintenance
+		builders["E1"] = experiment.ExtSparse
+		builders["E2"] = experiment.ExtSparseDeliveryRatio
+		builders["E3"] = experiment.ExtDegree
+		order = append(order, "A1", "A2", "E1", "E2", "E3")
+	}
+	want := map[string]bool{}
+	for _, f := range figs {
+		if _, ok := builders[f]; !ok {
+			fmt.Fprintf(os.Stderr, "refer-bench: unknown figure %q\n", f)
+			os.Exit(2)
+		}
+		want[f] = true
+	}
+	start := time.Now()
+	for _, id := range order {
+		if len(want) > 0 && !want[id] {
+			continue
+		}
+		fig, err := builders[id](opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "refer-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Table())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, "fig"+id+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "refer-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+}

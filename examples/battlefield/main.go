@@ -1,0 +1,37 @@
+// Battlefield models the paper's second motivating application: mobile
+// sensors densely deployed in a field report detected intruders to nearby
+// actuators that intercept them. The demo compares REFER against the
+// DaTree baseline under increasing node mobility — a miniature of the
+// paper's Figure 4 — using the public API only.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"refer"
+)
+
+func main() {
+	fmt.Println("intruder reports delivered within the 0.6 s deadline (pkt/s):")
+	fmt.Printf("%-12s %-10s %-10s\n", "mean speed", "REFER", "DaTree")
+	for _, maxSpeed := range []float64{1, 3, 5} {
+		row := make(map[string]float64, 2)
+		for _, system := range []string{refer.SystemREFER, refer.SystemDaTree} {
+			res, err := refer.Run(refer.RunConfig{
+				System:   system,
+				Scenario: refer.ScenarioParams{Seed: 11, Sensors: 200, MaxSpeed: maxSpeed},
+				Warmup:   50 * time.Second,
+				Duration: 200 * time.Second,
+			})
+			if err != nil {
+				log.Fatalf("%s at speed %v: %v", system, maxSpeed, err)
+			}
+			row[system] = res.Throughput
+		}
+		fmt.Printf("%-12.1f %-10.2f %-10.2f\n", maxSpeed/2, row[refer.SystemREFER], row[refer.SystemDaTree])
+	}
+	fmt.Println("\nhigher mobility barely affects REFER (topology-consistent cells +")
+	fmt.Println("ID-only failover) while the tree baseline pays broadcast repairs.")
+}

@@ -1,0 +1,3 @@
+module refer
+
+go 1.22

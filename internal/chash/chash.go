@@ -1,0 +1,124 @@
+// Package chash implements the consistent hashing [Karger et al., STOC'97]
+// REFER uses during actuator ID assignment: each actuator hashes its address
+// onto a ring, and the actuator with the minimum hash acts as the starting
+// server that partitions the topology and assigns cell IDs
+// (Section III-B-1 of the paper).
+package chash
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Hash returns the consistent hash value H(A) of a key: a 64-bit FNV-1a
+// digest. Any uniform hash works for leader election; FNV keeps the module
+// dependency-free and deterministic across runs.
+func Hash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key)) // fnv.Write never fails
+	return h.Sum64()
+}
+
+// MinKey returns the key with the smallest hash value — the "starting
+// server" election rule. Hash ties break lexicographically so the election
+// is total. It returns an error for an empty candidate set.
+func MinKey(keys []string) (string, error) {
+	if len(keys) == 0 {
+		return "", fmt.Errorf("chash: no candidates")
+	}
+	best := keys[0]
+	bestH := Hash(best)
+	for _, k := range keys[1:] {
+		h := Hash(k)
+		if h < bestH || (h == bestH && k < best) {
+			best, bestH = k, h
+		}
+	}
+	return best, nil
+}
+
+// Ring is a consistent hash ring with virtual nodes. REFER itself only
+// needs leader election, but the ring backs the DHT-style coordination
+// between actuators and is reused by tests that exercise churn.
+type Ring struct {
+	replicas int
+	keys     []uint64
+	owners   map[uint64]string
+	members  map[string]bool
+}
+
+// NewRing creates a ring placing each member at the given number of virtual
+// positions. replicas < 1 is coerced to 1.
+func NewRing(replicas int) *Ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	return &Ring{
+		replicas: replicas,
+		owners:   make(map[uint64]string),
+		members:  make(map[string]bool),
+	}
+}
+
+// Add inserts a member into the ring. Adding an existing member is a no-op.
+func (r *Ring) Add(member string) {
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.replicas; i++ {
+		h := Hash(fmt.Sprintf("%s#%d", member, i))
+		// On the (vanishingly rare) collision the earlier owner keeps the
+		// slot; correctness only needs a consistent owner per position.
+		if _, taken := r.owners[h]; !taken {
+			r.owners[h] = member
+			r.keys = append(r.keys, h)
+		}
+	}
+	sort.Slice(r.keys, func(i, j int) bool { return r.keys[i] < r.keys[j] })
+}
+
+// Remove deletes a member and its virtual positions.
+func (r *Ring) Remove(member string) {
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.keys[:0]
+	for _, h := range r.keys {
+		if r.owners[h] == member {
+			delete(r.owners, h)
+			continue
+		}
+		kept = append(kept, h)
+	}
+	r.keys = kept
+}
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Owner returns the member responsible for key: the first virtual position
+// clockwise from the key's hash. It returns an error on an empty ring.
+func (r *Ring) Owner(key string) (string, error) {
+	if len(r.keys) == 0 {
+		return "", fmt.Errorf("chash: empty ring")
+	}
+	h := Hash(key)
+	i := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= h })
+	if i == len(r.keys) {
+		i = 0
+	}
+	return r.owners[r.keys[i]], nil
+}
+
+// Members returns the member set in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

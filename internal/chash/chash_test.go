@@ -1,0 +1,161 @@
+package chash
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash("actuator-1") != Hash("actuator-1") {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash("actuator-1") == Hash("actuator-2") {
+		t.Fatal("distinct keys should (practically) never collide")
+	}
+}
+
+func TestMinKey(t *testing.T) {
+	keys := []string{"a", "b", "c", "d", "e"}
+	leader, err := MinKey(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if Hash(k) < Hash(leader) {
+			t.Fatalf("leader %q has hash %d but %q has smaller %d", leader, Hash(leader), k, Hash(k))
+		}
+	}
+	// Order independence.
+	rev := []string{"e", "d", "c", "b", "a"}
+	leader2, err := MinKey(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader2 != leader {
+		t.Fatalf("leader depends on order: %q vs %q", leader, leader2)
+	}
+	if _, err := MinKey(nil); err == nil {
+		t.Fatal("MinKey(nil) should error")
+	}
+}
+
+func TestRingOwnerStability(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 10; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+	owners := make(map[string]string)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o, err := r.Owner(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners[key] = o
+	}
+	// Removing one member must only remap keys that it owned.
+	r.Remove("node-3")
+	for key, prev := range owners {
+		now, err := r.Owner(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != "node-3" && now != prev {
+			t.Fatalf("key %q moved from %q to %q although %q stayed", key, prev, now, prev)
+		}
+		if now == "node-3" {
+			t.Fatalf("key %q still owned by removed member", key)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(0) // coerced to 1 replica
+	if _, err := r.Owner("x"); err == nil {
+		t.Fatal("Owner on empty ring should error")
+	}
+	r.Add("only")
+	r.Add("only") // duplicate add is a no-op
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	o, err := r.Owner("anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != "only" {
+		t.Fatalf("Owner = %q, want only member", o)
+	}
+	r.Remove("ghost") // removing a non-member is a no-op
+	if r.Len() != 1 {
+		t.Fatalf("Len after ghost removal = %d", r.Len())
+	}
+	r.Remove("only")
+	if r.Len() != 0 {
+		t.Fatalf("Len after removal = %d", r.Len())
+	}
+	if _, err := r.Owner("x"); err == nil {
+		t.Fatal("Owner after draining ring should error")
+	}
+}
+
+func TestRingMembersSorted(t *testing.T) {
+	r := NewRing(4)
+	r.Add("charlie")
+	r.Add("alice")
+	r.Add("bob")
+	got := r.Members()
+	want := []string{"alice", "bob", "charlie"}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	const members = 5
+	for i := 0; i < members; i++ {
+		r.Add(fmt.Sprintf("m%d", i))
+	}
+	counts := make(map[string]int)
+	const keys = 5000
+	for i := 0; i < keys; i++ {
+		o, err := r.Owner(fmt.Sprintf("key-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[o]++
+	}
+	for m, c := range counts {
+		if c < keys/members/4 || c > keys*4/members {
+			t.Errorf("member %s owns %d of %d keys — badly balanced", m, c, keys)
+		}
+	}
+	if len(counts) != members {
+		t.Errorf("only %d members own keys, want %d", len(counts), members)
+	}
+}
+
+func TestQuickOwnerConsistency(t *testing.T) {
+	r := NewRing(8)
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	f := func(key string) bool {
+		o1, err1 := r.Owner(key)
+		o2, err2 := r.Owner(key)
+		return err1 == nil && err2 == nil && o1 == o2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,560 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"refer/internal/can"
+	"refer/internal/chash"
+	"refer/internal/energy"
+	"refer/internal/geo"
+	"refer/internal/kautz"
+	"refer/internal/world"
+)
+
+// cornerBase is the canonical corner KID; its rotations 012 → 120 → 201 are
+// the three actuator KIDs of every cell (Section III-B-1).
+var cornerBase = kautz.ID("012")
+
+// Build runs the Kautz graph embedding protocol: actuator ID assignment,
+// sensor ID assignment per cell, the CAN upper tier, and the maintenance
+// schedule. All message costs are charged to the construction ledger.
+func (s *System) Build() error {
+	if s.built {
+		return fmt.Errorf("core: system already built")
+	}
+	if s.cfg.Degree < 2 || s.cfg.Degree > kautz.MaxDegree || s.cfg.Diameter != 3 {
+		return fmt.Errorf("core: the embedding protocol implements K(d,3) cells with d >= 2; got K(%d,%d)",
+			s.cfg.Degree, s.cfg.Diameter)
+	}
+	g, err := kautz.New(s.cfg.Degree, s.cfg.Diameter)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	s.graph = g
+
+	for _, n := range s.w.Nodes() {
+		if n.Kind == world.Actuator {
+			s.actuators = append(s.actuators, n.ID)
+		}
+	}
+	if len(s.actuators) < 3 {
+		return fmt.Errorf("core: need at least 3 actuators, have %d", len(s.actuators))
+	}
+
+	// --- Actuator ID assignment (Section III-B-1) ---
+	// Neighbor exchange: every actuator broadcasts its presence and hash
+	// "to all nodes in the cells" — a two-hop flood, since one sensor-range
+	// hop does not cover a cell.
+	for _, a := range s.actuators {
+		s.w.Flood(a, 2, energy.Construction, nil, nil)
+	}
+	// The minimum-hash actuator becomes the starting server.
+	keys := make([]string, len(s.actuators))
+	for i, a := range s.actuators {
+		keys[i] = fmt.Sprintf("actuator-%d", a)
+	}
+	leaderKey, err := chash.MinKey(keys)
+	if err != nil {
+		return fmt.Errorf("core: leader election: %w", err)
+	}
+	var leader world.NodeID
+	for i, k := range keys {
+		if k == leaderKey {
+			leader = s.actuators[i]
+		}
+	}
+
+	// The starting server partitions the actuator topology into triangles.
+	positions := make([]geo.Point, len(s.actuators))
+	for i, a := range s.actuators {
+		positions[i] = s.w.Position(a)
+	}
+	adjacency := s.actuatorAdjacency(positions)
+	triangles, err := geo.Triangulate(positions, adjacency)
+	if err != nil {
+		return fmt.Errorf("core: cell partition: %w", err)
+	}
+
+	// Sequential vertex coloring over triangle edges → corner KIDs. The
+	// color is global per actuator, so an actuator keeps the same KID in
+	// every cell it belongs to (reduces system complexity, Section III-B).
+	colors := s.colorActuators(triangles)
+
+	// Materialize cells, fixing per-cell color clashes if the greedy
+	// coloring needed more than three colors (documented deviation).
+	for idx, tri := range triangles {
+		cell, err := s.newCell(idx, tri, positions, colors)
+		if err != nil {
+			return fmt.Errorf("core: cell %d: %w", idx, err)
+		}
+		s.cells = append(s.cells, cell)
+		s.cellByCID[cell.CID] = cell
+	}
+
+	// The starting server notifies every actuator of its ID along a DFS of
+	// the actuator topology: one unicast per tree edge.
+	s.notifyActuators(leader, adjacency)
+
+	// --- Sensor ID assignment (Section III-B-2) ---
+	s.assignCellSensors()
+	for _, c := range s.cells {
+		var err error
+		if s.cfg.Degree == 2 {
+			err = s.embedCell(c) // the paper's exact K(2,3) protocol
+		} else {
+			err = s.embedCellGeneral(c) // generalized K(d,3), paper's future work
+		}
+		if err != nil {
+			return fmt.Errorf("core: embedding cell %d: %w", c.CID, err)
+		}
+	}
+
+	// --- DHT upper tier (Section III-B-3) ---
+	if err := s.buildDHT(); err != nil {
+		return fmt.Errorf("core: DHT tier: %w", err)
+	}
+
+	// --- Topology maintenance (Section III-B-4) ---
+	if !s.cfg.DisableMaintenance {
+		s.scheduleMaintenance()
+	}
+
+	s.built = true
+	return nil
+}
+
+// actuatorAdjacency derives the actuator communication graph: indices i, j
+// are adjacent when within both transmission ranges.
+func (s *System) actuatorAdjacency(positions []geo.Point) [][]int {
+	adj := make([][]int, len(s.actuators))
+	for i := range s.actuators {
+		ri := s.w.Node(s.actuators[i]).Range
+		for j := range s.actuators {
+			if i == j {
+				continue
+			}
+			rj := s.w.Node(s.actuators[j]).Range
+			d := positions[i].Dist(positions[j])
+			if d <= ri && d <= rj {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
+// colorActuators greedily colors actuators so that triangle corners get
+// distinct colors; color c maps to the c-th rotation of 012.
+func (s *System) colorActuators(triangles []geo.Triangle) []int {
+	n := len(s.actuators)
+	conflicts := make([]map[int]bool, n)
+	for i := range conflicts {
+		conflicts[i] = make(map[int]bool)
+	}
+	for _, t := range triangles {
+		vs := t.Vertices()
+		for _, a := range vs {
+			for _, b := range vs {
+				if a != b {
+					conflicts[a][b] = true
+				}
+			}
+		}
+	}
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	// Sequential vertex coloring in index order: smallest color not used by
+	// an already-colored conflicting neighbor.
+	for i := 0; i < n; i++ {
+		used := make(map[int]bool)
+		for nb := range conflicts[i] {
+			if colors[nb] >= 0 {
+				used[colors[nb]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[i] = c
+	}
+	return colors
+}
+
+// cornerKIDForColor returns the corner KID for a color 0..2.
+func cornerKIDForColor(c int) kautz.ID {
+	kid := cornerBase
+	for i := 0; i < c; i++ {
+		kid = rotateLeft(kid)
+	}
+	return kid
+}
+
+// newCell creates a cell for a triangle and assigns its corner KIDs.
+func (s *System) newCell(idx int, tri geo.Triangle, positions []geo.Point, colors []int) (*Cell, error) {
+	vs := tri.Vertices()
+	cell := &Cell{
+		CID:       idx,
+		Centroid:  tri.Centroid(positions),
+		NodeByKID: make(map[kautz.ID]world.NodeID, s.graph.N()),
+		kidOfNode: make(map[world.NodeID]kautz.ID, s.graph.N()),
+		members:   make(map[world.NodeID]bool),
+	}
+	for i, v := range vs {
+		cell.Corners[i] = s.actuators[v]
+		cell.Vertices[i] = positions[v]
+	}
+	// Assign corner KIDs from global colors; clashes (colors >= 3 or
+	// duplicates within the triangle) fall back to the free rotations.
+	taken := make(map[kautz.ID]bool, 3)
+	pending := make([]int, 0, 3)
+	for i, v := range vs {
+		if colors[v] < 3 {
+			kid := cornerKIDForColor(colors[v])
+			if !taken[kid] {
+				taken[kid] = true
+				cell.NodeByKID[kid] = s.actuators[v]
+				cell.kidOfNode[s.actuators[v]] = kid
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	for _, i := range pending {
+		assigned := false
+		for c := 0; c < 3; c++ {
+			kid := cornerKIDForColor(c)
+			if !taken[kid] {
+				taken[kid] = true
+				cell.NodeByKID[kid] = s.actuators[vs[i]]
+				cell.kidOfNode[s.actuators[vs[i]]] = kid
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			return nil, fmt.Errorf("could not assign corner KIDs")
+		}
+	}
+	return cell, nil
+}
+
+// notifyActuators charges the DFS ID-notification messages from the leader.
+func (s *System) notifyActuators(leader world.NodeID, adjacency [][]int) {
+	index := make(map[world.NodeID]int, len(s.actuators))
+	for i, a := range s.actuators {
+		index[a] = i
+	}
+	visited := make(map[int]bool, len(s.actuators))
+	var dfs func(i int)
+	dfs = func(i int) {
+		visited[i] = true
+		for _, j := range adjacency[i] {
+			if !visited[j] {
+				s.w.Send(s.actuators[i], s.actuators[j], energy.Construction, nil)
+				dfs(j)
+			}
+		}
+	}
+	dfs(index[leader])
+}
+
+// assignCellSensors associates every sensor with a cell: the triangle that
+// strictly contains it (triangle interiors partition the covered area), or
+// else the nearest cell within CellMargin. Sensors outside every cell stay
+// unaffiliated; they can still source data through any nearby overlay node.
+func (s *System) assignCellSensors() {
+	for _, n := range s.w.Nodes() {
+		if n.Kind != world.Sensor {
+			continue
+		}
+		p := s.w.Position(n.ID)
+		var owner *Cell
+		for _, c := range s.cells {
+			if c.contains(p, 0) {
+				owner = c
+				break
+			}
+		}
+		if owner == nil {
+			bestDist := s.cfg.CellMargin
+			for _, c := range s.cells {
+				if d := c.distance(p); d <= bestDist {
+					owner, bestDist = c, d
+				}
+			}
+		}
+		if owner != nil {
+			owner.members[n.ID] = true
+			s.sensorCell[n.ID] = owner
+		}
+	}
+}
+
+// embedCell selects sensors for the nine non-corner KIDs of a cell
+// (Section III-B-2): three TTL-2 path queries between successive corner
+// actuators, one sensor-to-sensor path query, and one final common-neighbor
+// assignment. Path queries are real floods (energy!); path selection picks
+// the highest accumulated battery, with physical tightness as tie-break.
+func (s *System) embedCell(c *Cell) error {
+	// Corner KIDs in KID order so the protocol is deterministic.
+	cornerKIDs := []kautz.ID{cornerBase, rotateLeft(cornerBase), rotateLeft(rotateLeft(cornerBase))}
+
+	// Step 1: actuator-to-successor paths.
+	for _, x := range cornerKIDs {
+		from := c.NodeByKID[x]
+		to := c.NodeByKID[rotateLeft(x)]
+		s1KID, s2KID := pathKIDs(x)
+		a, b, err := s.selectPathSensors(c, from, to)
+		if err != nil {
+			return fmt.Errorf("path %s→%s: %w", x, rotateLeft(x), err)
+		}
+		s.assignKID(c, a, s1KID)
+		s.assignKID(c, b, s2KID)
+		// ID notification to the two selected sensors.
+		s.w.Send(to, b, energy.Construction, nil)
+		s.w.Send(to, a, energy.Construction, nil)
+	}
+
+	// Step 2: the sensor-to-sensor path. S_i is the successor of the
+	// smallest corner KID, S_j the predecessor of the largest corner KID.
+	smallest, largest := cornerKIDs[0], cornerKIDs[0]
+	for _, kid := range cornerKIDs[1:] {
+		if kid < smallest {
+			smallest = kid
+		}
+		if kid > largest {
+			largest = kid
+		}
+	}
+	si, _ := pathKIDs(smallest)
+	var sj kautz.ID
+	for _, x := range cornerKIDs {
+		if rotateLeft(x) == largest {
+			_, sj = pathKIDs(x)
+		}
+	}
+	siNode, sjNode := c.NodeByKID[si], c.NodeByKID[sj]
+	mid1 := si.MustShift(sj.At(0))
+	mid2 := mid1.MustShift(sj.At(1))
+	a, b, err := s.selectPathSensors(c, siNode, sjNode)
+	if err != nil {
+		return fmt.Errorf("sensor path %s→%s: %w", si, sj, err)
+	}
+	s.assignKID(c, a, mid1)
+	s.assignKID(c, b, mid2)
+	s.w.Send(sjNode, a, energy.Construction, nil)
+	s.w.Send(sjNode, b, energy.Construction, nil)
+
+	// Step 3: the last KID goes to the best common neighbor of the two
+	// just-selected sensors — or, in sparse cells without one, to the
+	// sensor best connected to the KID's overlay partners (the same rule
+	// maintenance uses for candidates).
+	var lastKID kautz.ID
+	for _, kid := range s.graph.Nodes() {
+		if _, taken := c.NodeByKID[kid]; !taken {
+			lastKID = kid
+			break
+		}
+	}
+	if lastKID == "" {
+		return fmt.Errorf("no remaining KID for the final assignment")
+	}
+	last, err := s.selectCommonNeighbor(c, a, b)
+	if err != nil {
+		last, err = s.selectBestConnected(c, lastKID)
+	}
+	if err != nil {
+		return fmt.Errorf("final KID %s: %w", lastKID, err)
+	}
+	s.assignKID(c, last, lastKID)
+	s.w.Broadcast(a, energy.Construction, nil) // common-neighbor probe
+	s.w.Send(a, last, energy.Construction, nil)
+
+	// Sanity: the embedding must be complete.
+	if len(c.NodeByKID) != s.graph.N() {
+		return fmt.Errorf("incomplete embedding: %d of %d KIDs", len(c.NodeByKID), s.graph.N())
+	}
+	return nil
+}
+
+// assignKID records a sensor's KID in its cell.
+func (s *System) assignKID(c *Cell, id world.NodeID, kid kautz.ID) {
+	c.NodeByKID[kid] = id
+	c.kidOfNode[id] = kid
+}
+
+// sensorRange returns the link range for sensor-involving links: overlay
+// neighbors must be mutually reachable, so the (smaller) sensor range
+// governs.
+func (s *System) sensorRange(ids ...world.NodeID) float64 {
+	r := s.w.Node(ids[0]).Range
+	for _, id := range ids[1:] {
+		if rr := s.w.Node(id).Range; rr < r {
+			r = rr
+		}
+	}
+	return r
+}
+
+// selectPathSensors runs a TTL-2 path query from from toward to (paying the
+// flood) and picks the two intermediate sensors with the highest
+// accumulated energy whose chain from→a→b→to is bidirectionally connected.
+func (s *System) selectPathSensors(c *Cell, from, to world.NodeID) (a, b world.NodeID, err error) {
+	// The path query flood: TTL 2, restricted to the cell's sensors.
+	s.w.Flood(from, 2, energy.Construction, func(at world.NodeID, hops int, path []world.NodeID) bool {
+		return c.members[at] // only cell sensors relay the query
+	}, nil)
+
+	candidates := s.candidatePool(c)
+	bestScore, bestTight := -1.0, 0.0
+	a, b = world.NoNode, world.NoNode
+	pTo := s.w.Position(to)
+	pFrom := s.w.Position(from)
+	for _, x := range candidates {
+		px := s.w.Position(x)
+		if px.Dist(pFrom) > s.sensorRange(from, x) {
+			continue
+		}
+		for _, y := range candidates {
+			if x == y {
+				continue
+			}
+			py := s.w.Position(y)
+			if px.Dist(py) > s.sensorRange(x, y) {
+				continue
+			}
+			if py.Dist(pTo) > s.sensorRange(y, to) {
+				continue
+			}
+			score := s.w.Node(x).Meter.Fraction() + s.w.Node(y).Meter.Fraction()
+			tight := pFrom.Dist(px) + px.Dist(py) + py.Dist(pTo)
+			if score > bestScore || (score == bestScore && tight < bestTight) {
+				bestScore, bestTight = score, tight
+				a, b = x, y
+			}
+		}
+	}
+	if a == world.NoNode {
+		return world.NoNode, world.NoNode, fmt.Errorf("no connected sensor pair between %d and %d", from, to)
+	}
+	return a, b, nil
+}
+
+// selectCommonNeighbor picks the highest-battery unassigned cell sensor in
+// range of both x and y.
+func (s *System) selectCommonNeighbor(c *Cell, x, y world.NodeID) (world.NodeID, error) {
+	best := world.NoNode
+	bestScore := -1.0
+	px, py := s.w.Position(x), s.w.Position(y)
+	for _, cand := range s.candidatePool(c) {
+		p := s.w.Position(cand)
+		if p.Dist(px) > s.sensorRange(x, cand) || p.Dist(py) > s.sensorRange(y, cand) {
+			continue
+		}
+		if score := s.w.Node(cand).Meter.Fraction(); score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	if best == world.NoNode {
+		return world.NoNode, fmt.Errorf("no common neighbor of %d and %d", x, y)
+	}
+	return best, nil
+}
+
+// selectBestConnected picks the alive unassigned cell sensor with radio
+// links to the most overlay partners of kid (at least one required);
+// battery breaks ties.
+func (s *System) selectBestConnected(c *Cell, kid kautz.ID) (world.NodeID, error) {
+	partners := s.overlayPartners(c, kid)
+	best := world.NoNode
+	bestConn, bestScore := 0, -1.0
+	for _, cand := range s.candidatePool(c) {
+		p := s.w.Position(cand)
+		conn := 0
+		for _, partner := range partners {
+			if p.Dist(s.w.Position(partner)) <= s.sensorRange(cand, partner) {
+				conn++
+			}
+		}
+		if conn == 0 {
+			continue
+		}
+		score := s.w.Node(cand).Meter.Fraction()
+		if conn > bestConn || (conn == bestConn && score > bestScore) {
+			best, bestConn, bestScore = cand, conn, score
+		}
+	}
+	if best == world.NoNode {
+		return world.NoNode, fmt.Errorf("no sensor connects to any overlay partner of %s", kid)
+	}
+	return best, nil
+}
+
+// candidatePool returns the alive, unassigned sensors of a cell sorted by
+// ID (deterministic iteration).
+func (s *System) candidatePool(c *Cell) []world.NodeID {
+	pool := make([]world.NodeID, 0, len(c.members))
+	for id := range c.members {
+		if _, taken := c.kidOfNode[id]; taken {
+			continue
+		}
+		if s.w.Node(id).Alive() {
+			pool = append(pool, id)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	return pool
+}
+
+// buildDHT assembles the CAN tier: one zone per cell, zones adjacent when
+// their triangles share an actuator or their nearest actuators are in
+// radio range.
+func (s *System) buildDHT() error {
+	zones := make([]can.Zone, 0, len(s.cells))
+	adjacency := make(map[int][]int, len(s.cells))
+	for _, c := range s.cells {
+		zones = append(zones, can.Zone{CID: c.CID, Coord: c.Centroid})
+	}
+	for i, a := range s.cells {
+		for j, b := range s.cells {
+			if i == j {
+				continue
+			}
+			if cellsAdjacent(s.w, a, b) {
+				adjacency[a.CID] = append(adjacency[a.CID], b.CID)
+			}
+		}
+	}
+	table, err := can.New(zones, adjacency)
+	if err != nil {
+		return err
+	}
+	s.dht = &dhtTier{table: table}
+	return nil
+}
+
+// cellsAdjacent reports whether two cells share an actuator or have a pair
+// of actuators in mutual radio range.
+func cellsAdjacent(w *world.World, a, b *Cell) bool {
+	for _, ca := range a.Corners {
+		for _, cb := range b.Corners {
+			if ca == cb {
+				return true
+			}
+			d := w.Position(ca).Dist(w.Position(cb))
+			if d <= w.Node(ca).Range && d <= w.Node(cb).Range {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dhtTier is the CAN state plus helpers bound to the system.
+type dhtTier struct {
+	table *can.Table
+}

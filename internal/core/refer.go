@@ -1,0 +1,176 @@
+// Package core implements REFER — the Kautz-based REal-time, Fault-tolerant
+// and EneRgy-efficient WSAN of the paper (Section III).
+//
+// A REFER network is organized in three layers:
+//
+//  1. Cells. The actuator layer is partitioned into triangles; each triangle
+//     is a cell hosting an embedded Kautz graph K(2,3) whose three "corner"
+//     vertices (KIDs 012, 120, 201) are the cell's actuators and whose nine
+//     remaining vertices are selected sensors. Overlay neighbors are radio
+//     neighbors — the topology-consistency property that separates REFER
+//     from application-layer Kautz overlays.
+//  2. DHT tier. Actuators form a CAN keyed by cell IDs (centroids), used for
+//     inter-cell routing.
+//  3. Routing. Intra-cell forwarding uses the greedy shortest Kautz protocol
+//     with Theorem 3.8 failover: on a failed successor the relay ranks the
+//     remaining disjoint paths by length — computed from IDs alone — and
+//     retries, with no flooding and no notification to the source.
+//
+// Topology maintenance keeps the embedding alive under mobility and battery
+// drain with the awake/wait/sleep replacement scheme of Section III-B-4.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"refer/internal/kautz"
+	"refer/internal/world"
+)
+
+// Config parameterizes a REFER deployment.
+type Config struct {
+	// Degree is the Kautz degree d. d = 2 uses the paper's exact K(2,3)
+	// embedding protocol; d > 2 uses the generalized wavefront embedding
+	// (embed_general.go) and needs a denser deployment.
+	Degree int
+	// Diameter is the Kautz diameter k; must be 3 (K(d,3) cells, three
+	// actuator corners per cell).
+	Diameter int
+	// ProbeInterval is the topology-maintenance period: how often Kautz
+	// sensors probe their overlay links and hand over to candidates.
+	ProbeInterval time.Duration
+	// CellMargin expands each triangle when deciding which sensors belong
+	// to a cell, so border sensors participate (meters).
+	CellMargin float64
+	// HopBudget bounds the number of overlay hops a packet may take before
+	// being dropped (loop protection); 0 means 3k+4.
+	HopBudget int
+	// DisableFailover turns off the Theorem 3.8 alternate-path failover:
+	// a relay only ever tries the greedy shortest successor and drops the
+	// packet when it fails. Ablation knob for quantifying the theorem's
+	// contribution.
+	DisableFailover bool
+	// DisableMaintenance turns off the awake/wait/sleep replacement scheme
+	// (Section III-B-4). Ablation knob: under mobility the embedding then
+	// decays and routing must work around dead or displaced overlay nodes.
+	DisableMaintenance bool
+}
+
+// DefaultConfig returns the paper's cell configuration.
+func DefaultConfig() Config {
+	return Config{
+		Degree:        2,
+		Diameter:      3,
+		ProbeInterval: 5 * time.Second,
+		CellMargin:    40,
+	}
+}
+
+// Address is a REFER node address (CID, KID) as defined in Section III-B.
+type Address struct {
+	CID int
+	KID kautz.ID
+}
+
+// String implements fmt.Stringer, e.g. "(5,201)".
+func (a Address) String() string { return fmt.Sprintf("(%d,%s)", a.CID, a.KID) }
+
+// System is a built REFER network over a world.
+type System struct {
+	w   *world.World
+	cfg Config
+
+	graph     *kautz.Graph
+	cells     []*Cell
+	cellByCID map[int]*Cell
+	dht       *dhtTier
+
+	// membership: a sensor belongs to at most one cell; an actuator may sit
+	// in several cells (keeping the same KID in each whenever the coloring
+	// permits, Section III-B).
+	sensorCell map[world.NodeID]*Cell
+	actuators  []world.NodeID
+
+	built         bool
+	maintenanceOn bool
+	degradedAt    map[world.NodeID]time.Duration
+	stats         Stats
+}
+
+// Stats counts protocol activity for analysis and tests.
+type Stats struct {
+	// FailoverSwitches counts Theorem 3.8 alternate-successor decisions.
+	FailoverSwitches int
+	// Replacements counts maintenance node replacements.
+	Replacements int
+	// Drops counts packets abandoned after exhausting all alternatives.
+	Drops int
+	// InterCell counts packets that crossed cells via the DHT tier.
+	InterCell int
+}
+
+// New creates an unbuilt REFER system on w.
+func New(w *world.World, cfg Config) *System {
+	if cfg.Degree == 0 {
+		cfg.Degree = 2
+	}
+	if cfg.Diameter == 0 {
+		cfg.Diameter = 3
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultConfig().ProbeInterval
+	}
+	if cfg.CellMargin <= 0 {
+		cfg.CellMargin = DefaultConfig().CellMargin
+	}
+	if cfg.HopBudget <= 0 {
+		cfg.HopBudget = 3*cfg.Diameter + 4
+	}
+	return &System{
+		w:          w,
+		cfg:        cfg,
+		cellByCID:  make(map[int]*Cell),
+		sensorCell: make(map[world.NodeID]*Cell),
+		degradedAt: make(map[world.NodeID]time.Duration),
+	}
+}
+
+// Name implements the System interface.
+func (s *System) Name() string { return "REFER" }
+
+// Stats returns a snapshot of the protocol counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Cells returns the built cells.
+func (s *System) Cells() []*Cell { return s.cells }
+
+// Graph returns the Kautz template graph K(d,k).
+func (s *System) Graph() *kautz.Graph { return s.graph }
+
+// AddressOf returns the address of a node within its (first) cell, if the
+// node is an overlay member.
+func (s *System) AddressOf(id world.NodeID) (Address, bool) {
+	if c, ok := s.sensorCell[id]; ok {
+		if kid, ok := c.kidOfNode[id]; ok {
+			return Address{CID: c.CID, KID: kid}, true
+		}
+		return Address{}, false
+	}
+	for _, c := range s.cells {
+		if kid, ok := c.kidOfNode[id]; ok {
+			return Address{CID: c.CID, KID: kid}, true
+		}
+	}
+	return Address{}, false
+}
+
+// DHTRoute returns the CAN-tier CID route between two cells and whether
+// pure greedy forwarding sufficed (false also covers unbuilt systems or a
+// disconnected pair, in which case the route is nil).
+func (s *System) DHTRoute(fromCID, toCID int) ([]int, bool) {
+	if s.dht == nil {
+		return nil, false
+	}
+	return s.dht.table.Route(fromCID, toCID)
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"refer/internal/energy"
+	"refer/internal/kautz"
+	"refer/internal/world"
+	"sort"
+)
+
+// Inject routes one sensed-data packet from src to its nearby actuator —
+// the evaluation's traffic pattern. done fires exactly once: at the
+// actuator's reception time with ok=true, or when the packet is abandoned.
+func (s *System) Inject(src world.NodeID, done func(ok bool)) {
+	finish := func(ok bool) {
+		if !ok {
+			s.stats.Drops++
+		}
+		if done != nil {
+			done(ok)
+		}
+	}
+	if !s.built || !s.w.Node(src).Alive() {
+		finish(false)
+		return
+	}
+	entry, cell := s.entryPoint(src)
+	if entry == world.NoNode {
+		finish(false)
+		return
+	}
+	deliver := func() {
+		s.routeToCorners(cell, entry, s.cfg.HopBudget, finish)
+	}
+	if entry == src {
+		deliver()
+		return
+	}
+	// One attachment hop from the plain sensor to the overlay member.
+	s.w.Send(src, entry, energy.Communication, func(o world.Outcome) {
+		if o != world.Delivered {
+			finish(false)
+			return
+		}
+		deliver()
+	})
+}
+
+// routeToCorners routes a packet to any of the cell's actuators (the data
+// is for "a nearby actuator", so all three corners are valid sinks). Every
+// relay makes a purely local choice: corners ordered by Kautz distance from
+// its own KID, each tried through its Theorem 3.8 disjoint paths.
+func (s *System) routeToCorners(c *Cell, at world.NodeID, budget int, done func(ok bool)) {
+	atKID, ok := c.kidOfNode[at]
+	if !ok {
+		done(false)
+		return
+	}
+	if c.IsActuatorKID(atKID) {
+		done(true)
+		return
+	}
+	if budget <= 0 {
+		done(false)
+		return
+	}
+	corners := s.cornersByKautzDistance(c, atKID)
+	s.tryCorners(c, at, corners, 0, budget, done)
+}
+
+// cornersByKautzDistance returns the alive corner KIDs ordered by Kautz
+// distance from fromKID (ties by KID).
+func (s *System) cornersByKautzDistance(c *Cell, fromKID kautz.ID) []kautz.ID {
+	corners := make([]kautz.ID, 0, 3)
+	for _, corner := range c.Corners {
+		if s.w.Node(corner).Alive() {
+			corners = append(corners, c.kidOfNode[corner])
+		}
+	}
+	sort.Slice(corners, func(i, j int) bool {
+		di, dj := kautz.Distance(fromKID, corners[i]), kautz.Distance(fromKID, corners[j])
+		if di != dj {
+			return di < dj
+		}
+		return corners[i] < corners[j]
+	})
+	return corners
+}
+
+// tryCorners attempts the ranked corners; for each corner the Theorem 3.8
+// successor list is tried in order, and a successful hop re-enters
+// routeToCorners at the next relay.
+func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, budget int, done func(ok bool)) {
+	if ci >= len(corners) {
+		done(false)
+		return
+	}
+	atKID := c.kidOfNode[at]
+	routes, err := kautz.Routes(s.cfg.Degree, atKID, corners[ci])
+	if err != nil {
+		s.tryCorners(c, at, corners, ci+1, budget, done)
+		return
+	}
+	s.shuffleEqualLength(routes)
+	var try func(idx int)
+	try = func(idx int) {
+		if idx >= len(routes) || (s.cfg.DisableFailover && idx > 0) {
+			if s.cfg.DisableFailover {
+				// Ablated router: no Theorem 3.8 alternatives, no corner
+				// fallback — the greedy shortest successor or nothing.
+				done(false)
+				return
+			}
+			// All disjoint paths toward this corner failed here; fall back
+			// to the next corner (still a purely local decision).
+			s.tryCorners(c, at, corners, ci+1, budget, done)
+			return
+		}
+		next, ok := c.NodeByKID[routes[idx].Successor]
+		if !ok || !s.w.Node(next).Alive() {
+			if idx == 0 {
+				s.stats.FailoverSwitches++
+			}
+			try(idx + 1)
+			return
+		}
+		s.sendOverlayLink(c, at, next, func(delivered bool) {
+			if delivered {
+				s.routeToCorners(c, next, budget-1, done)
+				return
+			}
+			s.stats.FailoverSwitches++
+			try(idx + 1)
+		})
+	}
+	try(0)
+}
+
+// SendTo routes a packet from src to an arbitrary REFER address, using the
+// DHT tier when the destination lies in another cell. done fires once.
+func (s *System) SendTo(src world.NodeID, dst Address, done func(ok bool)) {
+	finish := func(ok bool) {
+		if !ok {
+			s.stats.Drops++
+		}
+		if done != nil {
+			done(ok)
+		}
+	}
+	if !s.built || !s.w.Node(src).Alive() {
+		finish(false)
+		return
+	}
+	dstCell, ok := s.cellByCID[dst.CID]
+	if !ok {
+		finish(false)
+		return
+	}
+	if _, ok := dstCell.NodeByKID[dst.KID]; !ok {
+		finish(false)
+		return
+	}
+	entry, cell := s.entryPoint(src)
+	if entry == world.NoNode {
+		finish(false)
+		return
+	}
+	route := func(from world.NodeID) {
+		if cell.CID == dst.CID {
+			s.routeIntraCell(cell, from, dst.KID, s.cfg.HopBudget, finish)
+			return
+		}
+		// Inter-cell: intra-cell to the Kautz-nearest corner actuator,
+		// CAN-route across cells, then intra-cell to the destination KID.
+		s.stats.InterCell++
+		exitKID := s.nearestCornerByKautz(cell, cell.kidOfNode[from])
+		s.routeIntraCell(cell, from, exitKID, s.cfg.HopBudget, func(ok bool) {
+			if !ok {
+				finish(false)
+				return
+			}
+			exit := cell.NodeByKID[exitKID]
+			s.routeInterCell(cell, exit, dstCell, func(ok bool, entryActuator world.NodeID) {
+				if !ok {
+					finish(false)
+					return
+				}
+				s.routeIntraCell(dstCell, entryActuator, dst.KID, s.cfg.HopBudget, finish)
+			})
+		})
+	}
+	if entry == src {
+		route(src)
+		return
+	}
+	s.w.Send(src, entry, energy.Communication, func(o world.Outcome) {
+		if o != world.Delivered {
+			finish(false)
+			return
+		}
+		route(entry)
+	})
+}
+
+// entryPoint returns the overlay node a packet from src enters the overlay
+// at, and that node's cell. If src is itself an overlay member it is its
+// own entry. Otherwise the nearest alive overlay member within radio range
+// is chosen.
+func (s *System) entryPoint(src world.NodeID) (world.NodeID, *Cell) {
+	if c, ok := s.sensorCell[src]; ok {
+		if _, isMember := c.kidOfNode[src]; isMember {
+			return src, c
+		}
+	}
+	// Actuators are always overlay members of some cell.
+	for _, c := range s.cells {
+		if _, ok := c.kidOfNode[src]; ok {
+			return src, c
+		}
+	}
+	// Plain sensor: attach to the nearest alive overlay member in range.
+	best := world.NoNode
+	var bestCell *Cell
+	bestDist := 0.0
+	p := s.w.Position(src)
+	r := s.w.Node(src).Range
+	for _, c := range s.cells {
+		for _, id := range c.NodeByKID {
+			if !s.w.Node(id).Alive() {
+				continue
+			}
+			d := p.Dist(s.w.Position(id))
+			if d > r {
+				continue
+			}
+			if best == world.NoNode || d < bestDist {
+				best, bestCell, bestDist = id, c, d
+			}
+		}
+	}
+	return best, bestCell
+}
+
+// nearestCornerKID returns the KID of the cell actuator physically nearest
+// to the node ("its nearby actuator").
+func (s *System) nearestCornerKID(c *Cell, near world.NodeID) kautz.ID {
+	p := s.w.Position(near)
+	best := c.kidOfNode[c.Corners[0]]
+	bestDist := p.Dist(s.w.Position(c.Corners[0]))
+	for _, corner := range c.Corners[1:] {
+		if d := p.Dist(s.w.Position(corner)); d < bestDist {
+			best, bestDist = c.kidOfNode[corner], d
+		}
+	}
+	return best
+}
+
+// nearestCornerByKautz returns the corner KID with the smallest Kautz
+// distance from fromKID (the cheapest overlay exit).
+func (s *System) nearestCornerByKautz(c *Cell, fromKID kautz.ID) kautz.ID {
+	best := c.kidOfNode[c.Corners[0]]
+	bestDist := kautz.Distance(fromKID, best)
+	for _, corner := range c.Corners[1:] {
+		kid := c.kidOfNode[corner]
+		if d := kautz.Distance(fromKID, kid); d < bestDist {
+			best, bestDist = kid, d
+		}
+	}
+	return best
+}
+
+// routeIntraCell is the REFER intra-cell routing protocol (Section
+// III-C-2): greedy shortest Kautz forwarding with Theorem 3.8 failover.
+// Every relay recomputes the ranked successor list from IDs alone; on a
+// failed transmission it falls through to the next-shortest disjoint path
+// without notifying the source.
+func (s *System) routeIntraCell(c *Cell, at world.NodeID, dstKID kautz.ID, budget int, done func(ok bool)) {
+	atKID, ok := c.kidOfNode[at]
+	if !ok {
+		done(false)
+		return
+	}
+	if atKID == dstKID {
+		done(true)
+		return
+	}
+	if budget <= 0 {
+		done(false)
+		return
+	}
+	routes, err := kautz.Routes(s.cfg.Degree, atKID, dstKID)
+	if err != nil {
+		done(false)
+		return
+	}
+	// Randomize among equal-length routes (the paper's tie-break rule).
+	s.shuffleEqualLength(routes)
+	s.tryRoutes(c, at, dstKID, routes, 0, budget, done)
+}
+
+// shuffleEqualLength randomly permutes runs of routes with equal concrete
+// path length, preserving the ascending length order.
+func (s *System) shuffleEqualLength(routes []kautz.Route) {
+	i := 0
+	for i < len(routes) {
+		j := i + 1
+		for j < len(routes) && routes[j].Len() == routes[i].Len() {
+			j++
+		}
+		if j-i > 1 {
+			s.w.Rand().Shuffle(j-i, func(a, b int) {
+				routes[i+a], routes[i+b] = routes[i+b], routes[i+a]
+			})
+		}
+		i = j
+	}
+}
+
+// tryRoutes attempts the ranked successors in order.
+func (s *System) tryRoutes(c *Cell, at world.NodeID, dstKID kautz.ID, routes []kautz.Route, idx, budget int, done func(ok bool)) {
+	if idx >= len(routes) || (s.cfg.DisableFailover && idx > 0) {
+		done(false) // all (permitted) disjoint paths failed
+		return
+	}
+	succKID := routes[idx].Successor
+	next, ok := c.NodeByKID[succKID]
+	if !ok || !s.w.Node(next).Alive() {
+		// Locally known failure (maintenance removed the node): switch to
+		// the next disjoint path immediately, no radio cost.
+		if idx == 0 {
+			s.stats.FailoverSwitches++
+		}
+		s.tryRoutes(c, at, dstKID, routes, idx+1, budget, done)
+		return
+	}
+	s.sendOverlayLink(c, at, next, func(delivered bool) {
+		if delivered {
+			s.routeIntraCell(c, next, dstKID, budget-1, done)
+			return
+		}
+		s.stats.FailoverSwitches++
+		s.tryRoutes(c, at, dstKID, routes, idx+1, budget, done)
+	})
+}
+
+// sendOverlayLink transmits between two overlay neighbors: directly when in
+// range, otherwise over a one-relay physical path chosen for lowest delay
+// ("either a multi-hop path or direct path", Section III-C-2).
+func (s *System) sendOverlayLink(c *Cell, from, to world.NodeID, done func(delivered bool)) {
+	if s.w.Distance(from, to) <= s.sensorRange(from, to) {
+		s.w.Send(from, to, energy.Communication, func(o world.Outcome) {
+			done(o == world.Delivered)
+		})
+		return
+	}
+	relay := s.bestRelay(c, from, to)
+	if relay == world.NoNode {
+		// Link is physically broken; report failure after the MAC timeout
+		// the sender pays trying.
+		s.w.Send(from, to, energy.Communication, func(o world.Outcome) {
+			done(o == world.Delivered)
+		})
+		return
+	}
+	s.w.Send(from, relay, energy.Communication, func(o world.Outcome) {
+		if o != world.Delivered {
+			done(false)
+			return
+		}
+		s.w.Send(relay, to, energy.Communication, func(o world.Outcome) {
+			done(o == world.Delivered)
+		})
+	})
+}
+
+// bestRelay picks an alive cell node in range of both endpoints, minimizing
+// the two-hop distance.
+func (s *System) bestRelay(c *Cell, from, to world.NodeID) world.NodeID {
+	pf, pt := s.w.Position(from), s.w.Position(to)
+	best := world.NoNode
+	bestDist := 0.0
+	consider := func(id world.NodeID) {
+		if id == from || id == to || !s.w.Node(id).Alive() {
+			return
+		}
+		p := s.w.Position(id)
+		if p.Dist(pf) > s.sensorRange(from, id) || p.Dist(pt) > s.sensorRange(id, to) {
+			return
+		}
+		d := p.Dist(pf) + p.Dist(pt)
+		if best == world.NoNode || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	for id := range c.kidOfNode {
+		consider(id)
+	}
+	for id := range c.members {
+		consider(id)
+	}
+	return best
+}
+
+// routeInterCell forwards a packet between cells along the CAN route
+// (Section III-B-3): each hop is an actuator-to-actuator transmission
+// toward the neighbor cell whose CID is closest to the destination.
+// done receives the actuator the packet arrived at inside dstCell.
+func (s *System) routeInterCell(fromCell *Cell, at world.NodeID, dstCell *Cell, done func(ok bool, entry world.NodeID)) {
+	cidRoute, _ := s.dht.table.Route(fromCell.CID, dstCell.CID)
+	if cidRoute == nil {
+		done(false, world.NoNode)
+		return
+	}
+	s.hopCells(at, cidRoute, 0, done)
+}
+
+// hopCells walks the CID route, hopping actuators between consecutive cells.
+func (s *System) hopCells(at world.NodeID, cidRoute []int, idx int, done func(ok bool, entry world.NodeID)) {
+	if idx == len(cidRoute)-1 {
+		done(true, at)
+		return
+	}
+	nextCell := s.cellByCID[cidRoute[idx+1]]
+	// If the current actuator also sits in the next cell, no radio hop is
+	// needed (shared-corner adjacency).
+	if _, ok := nextCell.kidOfNode[at]; ok {
+		s.hopCells(at, cidRoute, idx+1, done)
+		return
+	}
+	// Otherwise transmit to the nearest alive corner of the next cell.
+	target := world.NoNode
+	bestDist := 0.0
+	p := s.w.Position(at)
+	for _, corner := range nextCell.Corners {
+		if !s.w.Node(corner).Alive() {
+			continue
+		}
+		d := p.Dist(s.w.Position(corner))
+		if target == world.NoNode || d < bestDist {
+			target, bestDist = corner, d
+		}
+	}
+	if target == world.NoNode {
+		done(false, world.NoNode)
+		return
+	}
+	s.w.Send(at, target, energy.Communication, func(o world.Outcome) {
+		if o != world.Delivered {
+			done(false, world.NoNode)
+			return
+		}
+		s.hopCells(target, cidRoute, idx+1, done)
+	})
+}

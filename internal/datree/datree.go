@@ -1,0 +1,270 @@
+// Package datree implements the DaTree baseline (Melodia et al.,
+// MobiCom'05, as modeled in Section IV of the REFER paper): every actuator
+// roots a tree over its physically close sensors; sensors forward sensed
+// events up the tree to the root.
+//
+// Construction is cheap — each actuator floods one tree-build message and
+// every sensor adopts the first forwarder it hears as its parent ("it
+// consumes the least energy in overlay construction"). The weakness is
+// repair: when a sensor's link to its parent breaks, it must broadcast
+// toward the root to re-attach and the message is retransmitted from the
+// source, so faults and mobility cost both delay and energy.
+package datree
+
+import (
+	"refer/internal/energy"
+	"refer/internal/manet"
+	"refer/internal/world"
+)
+
+// Config parameterizes DaTree.
+type Config struct {
+	// FloodTTL bounds construction and repair floods.
+	FloodTTL int
+	// MaxRetransmits bounds per-packet source retransmissions after repair.
+	MaxRetransmits int
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{FloodTTL: manet.DefaultTTL, MaxRetransmits: 3}
+}
+
+// System is a built DaTree network.
+type System struct {
+	w   *world.World
+	cfg Config
+
+	parent map[world.NodeID]world.NodeID // tree edges (sensor → parent)
+	root   map[world.NodeID]world.NodeID // sensor → its tree's actuator
+	// repairing coalesces concurrent repairs at the same stuck node: one
+	// flood fixes the tree for every packet waiting on it.
+	repairing map[world.NodeID][]func(ok bool)
+	built     bool
+
+	stats Stats
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	// Repairs counts parent re-establishment floods.
+	Repairs int
+	// Retransmits counts source retransmissions.
+	Retransmits int
+	// Drops counts abandoned packets.
+	Drops int
+}
+
+// New creates an unbuilt DaTree system on w.
+func New(w *world.World, cfg Config) *System {
+	if cfg.FloodTTL <= 0 {
+		cfg.FloodTTL = manet.DefaultTTL
+	}
+	if cfg.MaxRetransmits <= 0 {
+		cfg.MaxRetransmits = DefaultConfig().MaxRetransmits
+	}
+	return &System{
+		w:         w,
+		cfg:       cfg,
+		parent:    make(map[world.NodeID]world.NodeID),
+		root:      make(map[world.NodeID]world.NodeID),
+		repairing: make(map[world.NodeID][]func(ok bool)),
+	}
+}
+
+// Name implements the System interface.
+func (s *System) Name() string { return "DaTree" }
+
+// Stats returns a snapshot of the protocol counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Parent returns a sensor's tree parent.
+func (s *System) Parent(id world.NodeID) (world.NodeID, bool) {
+	p, ok := s.parent[id]
+	return p, ok
+}
+
+// Root returns the actuator rooting a sensor's tree.
+func (s *System) Root(id world.NodeID) (world.NodeID, bool) {
+	r, ok := s.root[id]
+	return r, ok
+}
+
+// Build floods one tree-construction message per actuator; each sensor
+// adopts the first forwarder as its parent and joins only that tree. After
+// the floods, parents are refined to prefer strong links (the tree-reply
+// phase selects forwarders by signal strength, like repair does), which
+// keeps the initial tree from disintegrating within seconds of mobility.
+func (s *System) Build() error {
+	pending := 0
+	for _, n := range s.w.Nodes() {
+		if n.Kind == world.Actuator {
+			pending++
+		}
+	}
+	for _, n := range s.w.Nodes() {
+		if n.Kind != world.Actuator {
+			continue
+		}
+		rootID := n.ID
+		s.w.Flood(rootID, s.cfg.FloodTTL, energy.Construction,
+			func(at world.NodeID, hops int, path []world.NodeID) bool {
+				if s.w.Node(at).Kind == world.Actuator {
+					return false // other actuators do not join
+				}
+				if _, joined := s.parent[at]; joined {
+					return false // "each sensor belongs to only one tree"
+				}
+				s.parent[at] = path[len(path)-2]
+				s.root[at] = rootID
+				return true
+			}, func() {
+				pending--
+				if pending == 0 {
+					s.refineTrees() // all floods quiesced
+				}
+			})
+	}
+	s.built = true
+	return nil
+}
+
+// refineTrees re-points each tree's parents along strong links: a BFS from
+// every root over its members using links within manet.LinkMargin of range,
+// keeping the flood parent for members the margin graph cannot reach.
+func (s *System) refineTrees() {
+	roots := make(map[world.NodeID][]world.NodeID) // root → members
+	for member, root := range s.root {
+		roots[root] = append(roots[root], member)
+	}
+	for root, members := range roots {
+		inTree := make(map[world.NodeID]bool, len(members)+1)
+		inTree[root] = true
+		for _, m := range members {
+			inTree[m] = true
+		}
+		// BFS from the root over margin links restricted to tree members.
+		prev := map[world.NodeID]world.NodeID{root: root}
+		queue := []world.NodeID{root}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range s.w.AliveNeighbors(nil, cur) {
+				if !inTree[nb] {
+					continue
+				}
+				if _, seen := prev[nb]; seen {
+					continue
+				}
+				if s.w.Distance(cur, nb) > manet.LinkMargin*s.w.LinkRange(cur, nb) {
+					continue
+				}
+				prev[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+		for member, parent := range prev {
+			if member == root {
+				continue
+			}
+			s.parent[member] = parent
+		}
+	}
+}
+
+// Inject routes one packet from src up its tree to the root actuator.
+// done fires once with the outcome.
+func (s *System) Inject(src world.NodeID, done func(ok bool)) {
+	finish := func(ok bool) {
+		if !ok {
+			s.stats.Drops++
+		}
+		if done != nil {
+			done(ok)
+		}
+	}
+	if !s.built || !s.w.Node(src).Alive() {
+		finish(false)
+		return
+	}
+	if s.w.Node(src).Kind == world.Actuator {
+		finish(true) // the actuator already has the data
+		return
+	}
+	s.transmit(src, src, s.cfg.MaxRetransmits, finish)
+}
+
+// transmit walks the packet up the tree from at. On a broken hop the stuck
+// node repairs its parent link by flooding toward the root, then the packet
+// is retransmitted from the source (budget permitting).
+func (s *System) transmit(src, at world.NodeID, budget int, done func(ok bool)) {
+	if s.w.Node(at).Kind == world.Actuator {
+		done(true)
+		return
+	}
+	p, ok := s.parent[at]
+	if !ok || !s.w.Node(p).Alive() || !s.w.InRange(at, p) {
+		s.repairAndRetransmit(src, at, budget, done)
+		return
+	}
+	s.w.Send(at, p, energy.Communication, func(o world.Outcome) {
+		if o == world.Delivered {
+			s.transmit(src, p, budget, done)
+			return
+		}
+		s.repairAndRetransmit(src, at, budget, done)
+	})
+}
+
+// repairAndRetransmit floods from the stuck node toward its root to
+// re-establish parents along the discovered path, then retransmits the
+// packet from the source. Concurrent packets stuck at the same node share a
+// single repair flood.
+func (s *System) repairAndRetransmit(src, stuck world.NodeID, budget int, done func(ok bool)) {
+	if budget <= 0 {
+		done(false)
+		return
+	}
+	root, ok := s.root[stuck]
+	if !ok || !s.w.Node(stuck).Alive() {
+		done(false)
+		return
+	}
+	cont := func(repaired bool) {
+		if !repaired {
+			done(false)
+			return
+		}
+		s.stats.Retransmits++
+		retryFrom := src
+		if !s.w.Node(src).Alive() {
+			retryFrom = stuck
+		}
+		s.transmit(retryFrom, retryFrom, budget-1, done)
+	}
+	if waiting, inFlight := s.repairing[stuck]; inFlight {
+		s.repairing[stuck] = append(waiting, cont)
+		return
+	}
+	s.repairing[stuck] = []func(bool){cont}
+	s.stats.Repairs++
+	// Expanding-ring search: the root is a known nearby actuator, so a
+	// cheap local flood usually suffices.
+	manet.DiscoverRouteRing(s.w, stuck, root, []int{4, s.cfg.FloodTTL}, energy.Communication,
+		func(path []world.NodeID) {
+			if path != nil {
+				// Re-point parents along the found path.
+				for i := 0; i+1 < len(path); i++ {
+					if s.w.Node(path[i]).Kind == world.Sensor {
+						s.parent[path[i]] = path[i+1]
+						s.root[path[i]] = root
+					}
+				}
+			}
+			waiting := s.repairing[stuck]
+			delete(s.repairing, stuck)
+			for _, w := range waiting {
+				w(path != nil)
+			}
+		})
+}

@@ -1,0 +1,178 @@
+// Package des is a deterministic discrete-event scheduler: a virtual clock
+// and a priority queue of timestamped callbacks. Everything in the WSAN
+// simulator — packet receptions, MAC backoffs, mobility-driven maintenance
+// probes, failure injection, traffic generation — is an event on this
+// queue. Determinism is guaranteed by breaking timestamp ties with a
+// monotone sequence number, so runs with the same seed replay identically.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Handle lets a scheduled event be cancelled before it fires.
+type Handle struct {
+	ev *event
+}
+
+// Cancel prevents the event from running. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	h.ev.fn = nil
+	return true
+}
+
+// Scheduler owns the virtual clock and event queue. The zero value is
+// ready to use. Scheduler is not safe for concurrent use; the simulator is
+// single-threaded by design.
+type Scheduler struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet discarded).
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) is an error — a simulation bug worth failing loudly on.
+func (s *Scheduler) At(at time.Duration, fn func()) (Handle, error) {
+	if at < s.now {
+		return Handle{}, fmt.Errorf("des: schedule at %v before now %v", at, s.now)
+	}
+	if fn == nil {
+		return Handle{}, fmt.Errorf("des: nil event function")
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}, nil
+}
+
+// After schedules fn to run delay after the current time. Negative delays
+// are coerced to zero (run "immediately", after already-queued events at
+// the same timestamp).
+func (s *Scheduler) After(delay time.Duration, fn func()) (Handle, error) {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Halt stops Run/RunUntil after the current event completes.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		fn := ev.fn
+		ev.dead = true
+		ev.fn = nil
+		s.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in timestamp order until the queue is empty, the
+// scheduler is halted, or the next event lies beyond deadline. The clock
+// finishes at min(deadline, last event time); if the queue drains early the
+// clock is advanced to the deadline.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.halted = false
+	for !s.halted {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if !s.halted && s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// peek returns the timestamp of the next live event.
+func (s *Scheduler) peek() (time.Duration, bool) {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if ev.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// eventQueue is a binary min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,261 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	var s Scheduler
+	var got []int
+	mustAt := func(at time.Duration, fn func()) {
+		t.Helper()
+		if _, err := s.At(at, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAt(3*time.Second, func() { got = append(got, 3) })
+	mustAt(1*time.Second, func() { got = append(got, 1) })
+	mustAt(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", s.Now())
+	}
+	if s.Fired() != 3 {
+		t.Fatalf("Fired = %d, want 3", s.Fired())
+	}
+}
+
+func TestSchedulerFIFOAtSameTimestamp(t *testing.T) {
+	var s Scheduler
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(time.Second, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-timestamp events out of FIFO order: %v", got)
+	}
+}
+
+func TestSchedulePastFails(t *testing.T) {
+	var s Scheduler
+	if _, err := s.At(time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if _, err := s.At(500*time.Millisecond, func() {}); err == nil {
+		t.Fatal("scheduling in the past should fail")
+	}
+	if _, err := s.At(time.Second, func() {}); err != nil {
+		t.Fatalf("scheduling at exactly now should succeed: %v", err)
+	}
+}
+
+func TestNilEventFails(t *testing.T) {
+	var s Scheduler
+	if _, err := s.At(0, nil); err == nil {
+		t.Fatal("nil event should fail")
+	}
+}
+
+func TestAfterNegativeDelayCoerced(t *testing.T) {
+	var s Scheduler
+	ran := false
+	if _, err := s.After(-time.Second, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("negative-delay event did not run")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Scheduler
+	ran := false
+	h, err := s.After(time.Second, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Cancel() {
+		t.Fatal("first Cancel should report pending")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel should report not pending")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", s.Fired())
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	var s Scheduler
+	h, err := s.After(0, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if h.Cancel() {
+		t.Fatal("cancelling a fired event should report not pending")
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	var s Scheduler
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			if _, err := s.After(time.Second, recurse); err != nil {
+				t.Errorf("nested schedule: %v", err)
+			}
+		}
+	}
+	if _, err := s.After(time.Second, recurse); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if depth != 5 {
+		t.Fatalf("depth = %d, want 5", depth)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	var fired []time.Duration
+	for _, at := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second} {
+		at := at
+		if _, err := s.At(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want deadline 3s", s.Now())
+	}
+	if s.Pending() == 0 {
+		t.Fatal("event beyond deadline should still be pending")
+	}
+	s.RunUntil(10 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after second run", fired)
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s (advanced to deadline)", s.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	var s Scheduler
+	count := 0
+	for i := 1; i <= 10; i++ {
+		if _, err := s.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (halted)", count)
+	}
+	// Run resumes after a halt.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10 after resume", count)
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var s Scheduler
+	if s.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		var s Scheduler
+		rng := rand.New(rand.NewSource(seed))
+		var log []time.Duration
+		var spawn func()
+		spawn = func() {
+			log = append(log, s.Now())
+			if len(log) < 200 {
+				delay := time.Duration(rng.Intn(1000)) * time.Millisecond
+				if _, err := s.After(delay, spawn); err != nil {
+					t.Fatalf("spawn: %v", err)
+				}
+				if rng.Intn(3) == 0 {
+					if _, err := s.After(delay/2, func() { log = append(log, s.Now()) }); err != nil {
+						t.Fatalf("spawn extra: %v", err)
+					}
+				}
+			}
+		}
+		if _, err := s.After(0, spawn); err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		return log
+	}
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestManyEventsStress(t *testing.T) {
+	var s Scheduler
+	rng := rand.New(rand.NewSource(5))
+	const n = 50000
+	fired := 0
+	var last time.Duration
+	for i := 0; i < n; i++ {
+		at := time.Duration(rng.Int63n(int64(time.Hour)))
+		if _, err := s.At(at, func() {
+			if s.Now() < last {
+				t.Error("clock went backwards")
+			}
+			last = s.Now()
+			fired++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if fired != n {
+		t.Fatalf("fired = %d, want %d", fired, n)
+	}
+}

@@ -1,0 +1,159 @@
+// Package energy models per-node battery accounting for the WSAN
+// simulator. The paper charges 2 J per transmitted packet and 0.75 J per
+// received packet (LinkQuest UWM1000 figures) and reports energy split into
+// a topology-construction ledger and a communication ledger; both splits
+// are first-class here.
+package energy
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Paper defaults (Joules per packet), Section IV.
+const (
+	DefaultTxCost = 2.0
+	DefaultRxCost = 0.75
+)
+
+// Ledger classifies what an energy expenditure was for.
+type Ledger int
+
+const (
+	// Construction covers topology construction: embedding, ID assignment,
+	// cluster/tree formation, overlay path building.
+	Construction Ledger = iota + 1
+	// Communication covers data forwarding and topology maintenance.
+	Communication
+)
+
+// String implements fmt.Stringer.
+func (l Ledger) String() string {
+	switch l {
+	case Construction:
+		return "construction"
+	case Communication:
+		return "communication"
+	default:
+		return fmt.Sprintf("Ledger(%d)", int(l))
+	}
+}
+
+// Model holds the per-packet radio costs.
+type Model struct {
+	TxCost float64 // Joules per transmitted packet
+	RxCost float64 // Joules per received packet
+}
+
+// DefaultModel returns the paper's cost model.
+func DefaultModel() Model {
+	return Model{TxCost: DefaultTxCost, RxCost: DefaultRxCost}
+}
+
+// Meter tracks one node's battery. The zero value is unusable; create
+// meters through NewMeter so the initial budget is recorded. Meter is safe
+// for concurrent use (the simulator is single-threaded, but analysis
+// tooling reads meters from other goroutines).
+type Meter struct {
+	mu           sync.Mutex
+	model        Model
+	initial      float64
+	spent        float64
+	construction float64
+	comm         float64
+	txPackets    int64
+	rxPackets    int64
+}
+
+// NewMeter creates a meter with the given battery budget in Joules. A
+// budget <= 0 means an unconstrained supply (mains-powered actuators).
+func NewMeter(model Model, budget float64) *Meter {
+	return &Meter{model: model, initial: budget}
+}
+
+// ChargeTx records the cost of transmitting one packet against the ledger.
+func (m *Meter) ChargeTx(l Ledger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.charge(m.model.TxCost, l)
+	m.txPackets++
+}
+
+// ChargeRx records the cost of receiving one packet against the ledger.
+func (m *Meter) ChargeRx(l Ledger) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.charge(m.model.RxCost, l)
+	m.rxPackets++
+}
+
+func (m *Meter) charge(cost float64, l Ledger) {
+	m.spent += cost
+	switch l {
+	case Construction:
+		m.construction += cost
+	default:
+		m.comm += cost
+	}
+}
+
+// Spent returns the total Joules consumed.
+func (m *Meter) Spent() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spent
+}
+
+// SpentOn returns the Joules consumed against one ledger.
+func (m *Meter) SpentOn(l Ledger) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if l == Construction {
+		return m.construction
+	}
+	return m.comm
+}
+
+// Remaining returns the battery left, or +Inf-like large budget semantics:
+// for unconstrained meters (budget <= 0) it always returns 1.
+func (m *Meter) Remaining() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.initial <= 0 {
+		return 1
+	}
+	r := m.initial - m.spent
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Fraction returns the remaining battery as a fraction of the initial
+// budget in [0, 1]; unconstrained meters report 1.
+func (m *Meter) Fraction() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.initial <= 0 {
+		return 1
+	}
+	f := (m.initial - m.spent) / m.initial
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Depleted reports whether a constrained battery has run out.
+func (m *Meter) Depleted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.initial > 0 && m.spent >= m.initial
+}
+
+// Packets returns the transmit and receive packet counts.
+func (m *Meter) Packets() (tx, rx int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.txPackets, m.rxPackets
+}

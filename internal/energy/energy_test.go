@@ -1,0 +1,124 @@
+package energy
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestDefaultModelMatchesPaper(t *testing.T) {
+	m := DefaultModel()
+	if m.TxCost != 2.0 {
+		t.Errorf("TxCost = %f, want 2.0 (paper Section IV)", m.TxCost)
+	}
+	if m.RxCost != 0.75 {
+		t.Errorf("RxCost = %f, want 0.75 (paper Section IV)", m.RxCost)
+	}
+}
+
+func TestMeterLedgers(t *testing.T) {
+	m := NewMeter(DefaultModel(), 100)
+	m.ChargeTx(Construction)
+	m.ChargeRx(Construction)
+	m.ChargeTx(Communication)
+	m.ChargeTx(Communication)
+	m.ChargeRx(Communication)
+
+	if got, want := m.SpentOn(Construction), 2.75; got != want {
+		t.Errorf("construction = %f, want %f", got, want)
+	}
+	if got, want := m.SpentOn(Communication), 4.75; got != want {
+		t.Errorf("communication = %f, want %f", got, want)
+	}
+	if got, want := m.Spent(), 7.5; got != want {
+		t.Errorf("total = %f, want %f", got, want)
+	}
+	tx, rx := m.Packets()
+	if tx != 3 || rx != 2 {
+		t.Errorf("packets = (%d,%d), want (3,2)", tx, rx)
+	}
+}
+
+func TestMeterRemainingAndDepletion(t *testing.T) {
+	m := NewMeter(DefaultModel(), 5)
+	if m.Depleted() {
+		t.Fatal("fresh meter depleted")
+	}
+	if got := m.Remaining(); got != 5 {
+		t.Fatalf("Remaining = %f, want 5", got)
+	}
+	m.ChargeTx(Communication) // 2 J
+	m.ChargeTx(Communication) // 2 J
+	if got := m.Remaining(); got != 1 {
+		t.Fatalf("Remaining = %f, want 1", got)
+	}
+	if got := m.Fraction(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("Fraction = %f, want 0.2", got)
+	}
+	m.ChargeTx(Communication) // overdraft
+	if !m.Depleted() {
+		t.Fatal("meter should be depleted")
+	}
+	if got := m.Remaining(); got != 0 {
+		t.Fatalf("Remaining clamped = %f, want 0", got)
+	}
+	if got := m.Fraction(); got != 0 {
+		t.Fatalf("Fraction clamped = %f, want 0", got)
+	}
+}
+
+func TestMeterUnconstrained(t *testing.T) {
+	m := NewMeter(DefaultModel(), 0) // actuator: mains powered
+	for i := 0; i < 1000; i++ {
+		m.ChargeTx(Communication)
+	}
+	if m.Depleted() {
+		t.Fatal("unconstrained meter depleted")
+	}
+	if m.Remaining() != 1 || m.Fraction() != 1 {
+		t.Fatal("unconstrained meter should report full charge")
+	}
+	if got := m.Spent(); got != 2000 {
+		t.Fatalf("Spent = %f, want 2000 (spend still tracked)", got)
+	}
+}
+
+func TestMeterConcurrentSafety(t *testing.T) {
+	m := NewMeter(DefaultModel(), 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.ChargeTx(Communication)
+				m.ChargeRx(Construction)
+			}
+		}()
+	}
+	wg.Wait()
+	tx, rx := m.Packets()
+	if tx != 8000 || rx != 8000 {
+		t.Fatalf("packets = (%d,%d), want (8000,8000)", tx, rx)
+	}
+	want := 8000*2.0 + 8000*0.75
+	if got := m.Spent(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Spent = %f, want %f", got, want)
+	}
+}
+
+func TestLedgerString(t *testing.T) {
+	tests := []struct {
+		l    Ledger
+		want string
+	}{
+		{Construction, "construction"},
+		{Communication, "communication"},
+		{Ledger(42), "Ledger(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.l.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.l), got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package experiment
+
+import "refer/internal/scenario"
+
+// AblationFailover quantifies Theorem 3.8's contribution: REFER with and
+// without the alternate-path failover, swept over the faulty-node counts of
+// Figure 7, measuring QoS throughput. Without failover a relay drops the
+// packet the moment its greedy shortest successor fails.
+func AblationFailover(o Options) (Figure, error) {
+	o = o.withDefaults()
+	o.Systems = []string{SystemREFER, SystemREFERNoFailover}
+	fig, err := sweep(o, faultXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{
+			Scenario:   scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 1},
+			FaultCount: int(x),
+		}
+	}, func(r Result) float64 { return r.Throughput })
+	fig.ID, fig.Title = "A1", "Ablation: Theorem 3.8 failover under faults"
+	fig.XLabel, fig.YLabel = "faulty nodes", "throughput (pkt/s)"
+	return fig, err
+}
+
+// AblationMaintenance quantifies the awake/wait/sleep replacement scheme:
+// REFER with and without topology maintenance, swept over node mobility,
+// measuring QoS throughput. Without maintenance the embedding decays as
+// overlay sensors drift out of their cells.
+func AblationMaintenance(o Options) (Figure, error) {
+	o = o.withDefaults()
+	o.Systems = []string{SystemREFER, SystemREFERNoMaintenance}
+	fig, err := sweep(o, mobilityXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 2 * x}}
+	}, func(r Result) float64 { return r.Throughput })
+	fig.ID, fig.Title = "A2", "Ablation: topology maintenance under mobility"
+	fig.XLabel, fig.YLabel = "mean speed (m/s)", "throughput (pkt/s)"
+	return fig, err
+}

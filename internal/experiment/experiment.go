@@ -1,0 +1,273 @@
+// Package experiment reproduces the paper's evaluation (Section IV): it
+// builds the four systems on identical deployments, drives the traffic
+// pattern (every 10 s, 5 random sources send a data burst to their nearby
+// actuators), rotates faulty-node sets, applies the 0.6 s QoS deadline, and
+// regenerates each of Figures 4–11 as a table of mean ± 95 % CI series.
+package experiment
+
+import (
+	"fmt"
+
+	"time"
+
+	"refer/internal/core"
+	"refer/internal/datree"
+	"refer/internal/ddear"
+	"refer/internal/energy"
+	"refer/internal/kautzoverlay"
+	"refer/internal/metrics"
+	"refer/internal/scenario"
+	"refer/internal/world"
+)
+
+// System is the contract every evaluated WSAN system implements.
+type System interface {
+	// Name returns the display name.
+	Name() string
+	// Build constructs the system's topology on its world, charging the
+	// construction energy ledger.
+	Build() error
+	// Inject routes one sensed-data packet from src to a nearby actuator;
+	// done fires exactly once with the outcome.
+	Inject(src world.NodeID, done func(ok bool))
+}
+
+// System names accepted by NewSystem.
+const (
+	SystemREFER        = "REFER"
+	SystemDaTree       = "DaTree"
+	SystemDDEAR        = "D-DEAR"
+	SystemKautzOverlay = "Kautz-overlay"
+
+	// Ablated REFER variants (see the ablation study in EXPERIMENTS.md).
+	SystemREFERNoFailover    = "REFER/no-failover"
+	SystemREFERNoMaintenance = "REFER/no-maintenance"
+
+	// SystemREFERK33 uses K(3,3) cells (d = 3: three disjoint paths per
+	// pair) via the generalized embedding — the paper's future work.
+	// Needs roughly 300+ sensors for the 33 overlay sensors per cell.
+	SystemREFERK33 = "REFER/K(3,3)"
+)
+
+// AllSystems lists the four evaluated systems in the paper's order.
+func AllSystems() []string {
+	return []string{SystemREFER, SystemDaTree, SystemDDEAR, SystemKautzOverlay}
+}
+
+// NewSystem constructs the named (unbuilt) system on w.
+func NewSystem(name string, w *world.World) (System, error) {
+	switch name {
+	case SystemREFER:
+		return core.New(w, core.DefaultConfig()), nil
+	case SystemREFERNoFailover:
+		cfg := core.DefaultConfig()
+		cfg.DisableFailover = true
+		return core.New(w, cfg), nil
+	case SystemREFERNoMaintenance:
+		cfg := core.DefaultConfig()
+		cfg.DisableMaintenance = true
+		return core.New(w, cfg), nil
+	case SystemREFERK33:
+		cfg := core.DefaultConfig()
+		cfg.Degree = 3
+		return core.New(w, cfg), nil
+	case SystemDaTree:
+		return datree.New(w, datree.DefaultConfig()), nil
+	case SystemDDEAR:
+		return ddear.New(w, ddear.DefaultConfig()), nil
+	case SystemKautzOverlay:
+		return kautzoverlay.New(w, kautzoverlay.DefaultConfig()), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown system %q", name)
+	}
+}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// System selects the protocol under test (see NewSystem).
+	System string
+	// Scenario is the deployment.
+	Scenario scenario.Params
+	// Warmup precedes the measurement window (paper: 100 s).
+	Warmup time.Duration
+	// Duration is the measurement window length (paper: 1000 s).
+	Duration time.Duration
+	// BurstInterval separates traffic bursts (paper: 10 s).
+	BurstInterval time.Duration
+	// Sources is the number of random source sensors per burst (paper: 5).
+	Sources int
+	// PacketsPerSource is the burst size in packets per source — the
+	// scaled stand-in for the paper's 1 Mbps data stream (see DESIGN.md).
+	PacketsPerSource int
+	// PacketSpacing separates a burst's packets at the source.
+	PacketSpacing time.Duration
+	// FaultCount sensors are failed at any time, re-drawn every
+	// FaultRotation with the previous set recovered (paper Section IV-B).
+	FaultCount    int
+	FaultRotation time.Duration
+	// QoSDeadline is the real-time cutoff (paper: 0.6 s).
+	QoSDeadline time.Duration
+}
+
+// withDefaults fills zero fields with the paper's parameters.
+func (c RunConfig) withDefaults() RunConfig {
+	if c.System == "" {
+		c.System = SystemREFER
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 100 * time.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 1000 * time.Second
+	}
+	if c.BurstInterval == 0 {
+		c.BurstInterval = 10 * time.Second
+	}
+	if c.Sources == 0 {
+		c.Sources = 5
+	}
+	if c.PacketsPerSource == 0 {
+		c.PacketsPerSource = 6
+	}
+	if c.PacketSpacing == 0 {
+		c.PacketSpacing = 20 * time.Millisecond
+	}
+	if c.FaultRotation == 0 {
+		c.FaultRotation = 10 * time.Second
+	}
+	if c.QoSDeadline == 0 {
+		c.QoSDeadline = metrics.DefaultQoSDeadline
+	}
+	return c
+}
+
+// Result holds one run's measurements.
+type Result struct {
+	System string
+	// Throughput is QoS-guaranteed packets per second.
+	Throughput float64
+	// MeanQoSDelay is the mean latency of QoS-guaranteed deliveries.
+	MeanQoSDelay time.Duration
+	// MeanDelay is the mean latency over all deliveries.
+	MeanDelay time.Duration
+	// CommEnergy and ConstructionEnergy are the two ledgers in Joules.
+	CommEnergy         float64
+	ConstructionEnergy float64
+	// Packet counters within the measurement window.
+	Created, Delivered, QoS, Dropped int
+}
+
+// TotalEnergy returns construction plus communication energy.
+func (r Result) TotalEnergy() float64 { return r.CommEnergy + r.ConstructionEnergy }
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg RunConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	w := scenario.Build(cfg.Scenario)
+	sys, err := NewSystem(cfg.System, w)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := sys.Build(); err != nil {
+		return Result{}, fmt.Errorf("experiment: building %s: %w", cfg.System, err)
+	}
+
+	collector := metrics.NewCollector(cfg.Warmup, cfg.Warmup+cfg.Duration, cfg.QoSDeadline)
+	end := cfg.Warmup + cfg.Duration
+
+	sensors := scenario.SensorIDs(w)
+	if len(sensors) == 0 {
+		return Result{}, fmt.Errorf("experiment: no sensors")
+	}
+
+	// Traffic: every BurstInterval, Sources random alive sensors each emit
+	// PacketsPerSource packets toward their nearby actuator.
+	var burst func()
+	burst = func() {
+		now := w.Now()
+		if now > end {
+			return
+		}
+		for i := 0; i < cfg.Sources; i++ {
+			src := sensors[w.Rand().Intn(len(sensors))]
+			if !w.Node(src).Alive() {
+				continue
+			}
+			for p := 0; p < cfg.PacketsPerSource; p++ {
+				delay := time.Duration(p) * cfg.PacketSpacing
+				src := src
+				if _, err := w.Sched.After(delay, func() {
+					created := w.Now()
+					collector.Created(created)
+					sys.Inject(src, func(ok bool) {
+						if ok {
+							collector.Delivered(created, w.Now())
+						} else {
+							collector.Dropped(created)
+						}
+					})
+				}); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if _, err := w.Sched.After(cfg.BurstInterval, burst); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := w.Sched.After(cfg.BurstInterval, burst); err != nil {
+		return Result{}, err
+	}
+
+	// Fault injection: rotate the faulty sensor set.
+	if cfg.FaultCount > 0 {
+		var current []world.NodeID
+		var rotate func()
+		rotate = func() {
+			if w.Now() > end {
+				return
+			}
+			for _, id := range current {
+				w.SetFailed(id, false)
+			}
+			current = current[:0]
+			for len(current) < cfg.FaultCount && len(current) < len(sensors) {
+				id := sensors[w.Rand().Intn(len(sensors))]
+				already := false
+				for _, c := range current {
+					if c == id {
+						already = true
+						break
+					}
+				}
+				if !already {
+					current = append(current, id)
+					w.SetFailed(id, true)
+				}
+			}
+			if _, err := w.Sched.After(cfg.FaultRotation, rotate); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := w.Sched.After(cfg.FaultRotation, rotate); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Grace period lets in-flight packets from the window's tail arrive.
+	w.Sched.RunUntil(end + 2*time.Second)
+
+	created, delivered, qos, dropped := collector.Counts()
+	return Result{
+		System:             cfg.System,
+		Throughput:         collector.Throughput(),
+		MeanQoSDelay:       collector.MeanQoSDelay(),
+		MeanDelay:          collector.MeanDelay(),
+		CommEnergy:         w.TotalEnergy(energy.Communication),
+		ConstructionEnergy: w.TotalEnergy(energy.Construction),
+		Created:            created,
+		Delivered:          delivered,
+		QoS:                qos,
+		Dropped:            dropped,
+	}, nil
+}

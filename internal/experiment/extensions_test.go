@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExtSparseHandlesInfeasibleDeployments(t *testing.T) {
+	o := Options{
+		Seeds:    []int64{1, 2},
+		Warmup:   15 * time.Second,
+		Duration: 40 * time.Second,
+		Systems:  []string{SystemREFER},
+	}
+	fig, err := ExtSparse(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "E1" || len(fig.Series) != 1 {
+		t.Fatalf("figure: %+v", fig)
+	}
+	series := fig.Series[0]
+	if len(series.Points) != len(sparseXs) {
+		t.Fatalf("points = %d", len(series.Points))
+	}
+	// The densest point must outperform the sparsest: REFER needs density
+	// (Prop. 3.2) and 60-sensor deployments often cannot form cells.
+	first, last := series.Points[0], series.Points[len(series.Points)-1]
+	if last.Y.Mean <= first.Y.Mean {
+		t.Fatalf("throughput should grow with density: %f at %g vs %f at %g",
+			first.Y.Mean, first.X, last.Y.Mean, last.X)
+	}
+}
+
+func TestExtSparseDeliveryRatioBounded(t *testing.T) {
+	o := Options{
+		Seeds:    []int64{3},
+		Warmup:   15 * time.Second,
+		Duration: 40 * time.Second,
+		Systems:  []string{SystemDaTree},
+	}
+	fig, err := ExtSparseDeliveryRatio(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Y.Mean < 0 || p.Y.Mean > 1 {
+				t.Fatalf("delivery ratio %f out of [0,1] at x=%g", p.Y.Mean, p.X)
+			}
+		}
+	}
+}
+
+func TestExtInterCell(t *testing.T) {
+	res, err := ExtInterCell(Options{Seeds: []int64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 cells → 12 ordered pairs per seed.
+	if res.Attempts != 24 {
+		t.Fatalf("attempts = %d, want 24", res.Attempts)
+	}
+	if res.Delivered < res.Attempts*8/10 {
+		t.Fatalf("delivered %d/%d inter-cell packets", res.Delivered, res.Attempts)
+	}
+	if res.MeanDelay <= 0 || res.MeanDelay > 500*time.Millisecond {
+		t.Fatalf("mean delay = %v", res.MeanDelay)
+	}
+	if res.MeanCellHops < 1 {
+		t.Fatalf("mean cell hops = %f", res.MeanCellHops)
+	}
+}

@@ -1,0 +1,348 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"refer/internal/metrics"
+	"refer/internal/scenario"
+)
+
+// Options scales the figure sweeps. The zero value reproduces the paper's
+// full parameters (1000 s runs); tests and quick benches shrink them.
+type Options struct {
+	// Seeds are the independent repetitions behind each point's 95 % CI.
+	Seeds []int64
+	// Warmup and Duration override the run windows when non-zero.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Sensors overrides the default 200-sensor population for the
+	// mobility/fault figures when non-zero.
+	Sensors int
+	// Systems restricts the comparison; empty means all four.
+	Systems []string
+	// PacketsPerSource overrides the burst size when non-zero.
+	PacketsPerSource int
+	// Parallelism bounds concurrent simulation runs (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1, 2, 3, 4, 5}
+	}
+	if len(o.Systems) == 0 {
+		o.Systems = AllSystems()
+	}
+	if o.Sensors == 0 {
+		o.Sensors = 200
+	}
+	return o
+}
+
+// Point is one x-position of a figure series.
+type Point struct {
+	X float64
+	Y metrics.Summary
+}
+
+// Series is one system's curve.
+type Series struct {
+	System string
+	Points []Point
+}
+
+// Figure is a reproduced evaluation figure: per-system series over a sweep.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// sweep runs the cross product systems × xs × seeds and reduces each
+// (system, x) cell to a summary of the metric selected by pick.
+func sweep(o Options, xs []float64, configure func(x float64, seed int64) RunConfig, pick func(Result) float64) (Figure, error) {
+	o = o.withDefaults()
+	type cell struct {
+		sys string
+		x   int
+	}
+	type job struct {
+		cfg  RunConfig
+		cell cell
+	}
+	var jobs []job
+	for _, sys := range o.Systems {
+		for xi, x := range xs {
+			for _, seed := range o.Seeds {
+				cfg := configure(x, seed)
+				cfg.System = sys
+				if o.Warmup > 0 {
+					cfg.Warmup = o.Warmup
+				}
+				if o.Duration > 0 {
+					cfg.Duration = o.Duration
+				}
+				if o.PacketsPerSource > 0 {
+					cfg.PacketsPerSource = o.PacketsPerSource
+				}
+				jobs = append(jobs, job{cfg: cfg, cell: cell{sys: sys, x: xi}})
+			}
+		}
+	}
+
+	parallelism := o.Parallelism
+	if parallelism <= 0 {
+		parallelism = defaultParallelism()
+	}
+	var (
+		mu       sync.Mutex
+		samples  = make(map[cell][]float64)
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, parallelism)
+	)
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := Run(j.cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			samples[j.cell] = append(samples[j.cell], pick(res))
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Figure{}, firstErr
+	}
+
+	var fig Figure
+	for _, sys := range o.Systems {
+		series := Series{System: sys, Points: make([]Point, 0, len(xs))}
+		for xi, x := range xs {
+			vals := samples[cell{sys: sys, x: xi}]
+			sort.Float64s(vals)
+			series.Points = append(series.Points, Point{X: x, Y: metrics.Summarize(vals)})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+func defaultParallelism() int {
+	n := numCPU()
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// mobilityXs are the paper's mobility sweep positions: node speed drawn
+// from [0, x] m/s for x = 1..5, plotted at the mean speed x/2.
+var mobilityXs = []float64{0.5, 1.0, 1.5, 2.0, 2.5}
+
+// faultXs are the paper's faulty-node counts 2x, x ∈ [1,5].
+var faultXs = []float64{2, 4, 6, 8, 10}
+
+// scaleXs are the paper's network sizes (number of sensors).
+var scaleXs = []float64{100, 200, 300, 400}
+
+// Fig4 reproduces Figure 4: QoS throughput vs node mobility.
+func Fig4(o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig, err := sweep(o, mobilityXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 2 * x}}
+	}, func(r Result) float64 { return r.Throughput })
+	fig.ID, fig.Title = "4", "QoS throughput vs node mobility"
+	fig.XLabel, fig.YLabel = "mean speed (m/s)", "throughput (pkt/s)"
+	return fig, err
+}
+
+// Fig5 reproduces Figure 5: communication energy vs node mobility.
+func Fig5(o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig, err := sweep(o, mobilityXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 2 * x}}
+	}, func(r Result) float64 { return r.CommEnergy })
+	fig.ID, fig.Title = "5", "Energy consumed in communication vs node mobility"
+	fig.XLabel, fig.YLabel = "mean speed (m/s)", "energy (J)"
+	return fig, err
+}
+
+// Fig6 reproduces Figure 6: transmission delay vs number of faulty nodes.
+func Fig6(o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig, err := sweep(o, faultXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{
+			Scenario:   scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 1},
+			FaultCount: int(x),
+		}
+	}, func(r Result) float64 { return r.MeanQoSDelay.Seconds() * 1000 })
+	fig.ID, fig.Title = "6", "Transmission delay vs number of faulty nodes"
+	fig.XLabel, fig.YLabel = "faulty nodes", "delay (ms)"
+	return fig, err
+}
+
+// Fig7 reproduces Figure 7: QoS throughput vs number of faulty nodes.
+func Fig7(o Options) (Figure, error) {
+	o = o.withDefaults()
+	fig, err := sweep(o, faultXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{
+			Scenario:   scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 1},
+			FaultCount: int(x),
+		}
+	}, func(r Result) float64 { return r.Throughput })
+	fig.ID, fig.Title = "7", "QoS throughput vs number of faulty nodes"
+	fig.XLabel, fig.YLabel = "faulty nodes", "throughput (pkt/s)"
+	return fig, err
+}
+
+// Fig8 reproduces Figure 8: transmission delay vs network size.
+func Fig8(o Options) (Figure, error) {
+	fig, err := sweep(o, scaleXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5}}
+	}, func(r Result) float64 { return r.MeanQoSDelay.Seconds() * 1000 })
+	fig.ID, fig.Title = "8", "Transmission delay vs network size"
+	fig.XLabel, fig.YLabel = "sensors", "delay (ms)"
+	return fig, err
+}
+
+// Fig9 reproduces Figure 9: communication energy vs network size.
+func Fig9(o Options) (Figure, error) {
+	fig, err := sweep(o, scaleXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5}}
+	}, func(r Result) float64 { return r.CommEnergy })
+	fig.ID, fig.Title = "9", "Energy consumed in communication vs network size"
+	fig.XLabel, fig.YLabel = "sensors", "energy (J)"
+	return fig, err
+}
+
+// Fig10 reproduces Figure 10: topology-construction energy vs network size.
+func Fig10(o Options) (Figure, error) {
+	fig, err := sweep(o, scaleXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5}}
+	}, func(r Result) float64 { return r.ConstructionEnergy })
+	fig.ID, fig.Title = "10", "Energy consumed in topology construction vs network size"
+	fig.XLabel, fig.YLabel = "sensors", "energy (J)"
+	return fig, err
+}
+
+// Fig11 reproduces Figure 11: total (construction + communication) energy
+// vs network size.
+func Fig11(o Options) (Figure, error) {
+	fig, err := sweep(o, scaleXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5}}
+	}, func(r Result) float64 { return r.TotalEnergy() })
+	fig.ID, fig.Title = "11", "Total energy consumption vs network size"
+	fig.XLabel, fig.YLabel = "sensors", "energy (J)"
+	return fig, err
+}
+
+// AllFigures regenerates every evaluation figure.
+func AllFigures(o Options) ([]Figure, error) {
+	builders := []func(Options) (Figure, error){
+		Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11,
+	}
+	figs := make([]Figure, 0, len(builders))
+	for _, b := range builders {
+		fig, err := b(o)
+		if err != nil {
+			return nil, err
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Table renders the figure as an aligned text table (one row per x value,
+// one column per system, mean ± 95 % CI).
+func (f Figure) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure %s — %s [%s]\n", f.ID, f.Title, f.YLabel)
+	fmt.Fprintf(&sb, "%-18s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "%-22s", s.System)
+	}
+	sb.WriteString("\n")
+	if len(f.Series) == 0 {
+		return sb.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&sb, "%-18.4g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			fmt.Fprintf(&sb, "%-22s", s.Points[i].Y.String())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the figure as comma-separated values: a header row
+// (x label, then "<system> mean","<system> ci95" pairs) and one row per
+// sweep position. Suitable for direct plotting.
+func (f Figure) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, ",%s,%s", csvEscape(s.System+" mean"), csvEscape(s.System+" ci95"))
+	}
+	sb.WriteString("\n")
+	if len(f.Series) == 0 {
+		return sb.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&sb, "%g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			fmt.Fprintf(&sb, ",%g,%g", s.Points[i].Y.Mean, s.Points[i].Y.CI95)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// SeriesFor returns the series of the named system, if present.
+func (f Figure) SeriesFor(system string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.System == system {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Means returns a system's point means in x order.
+func (s Series) Means() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Y.Mean
+	}
+	return out
+}
+
+// numCPU is indirected for tests.
+var numCPU = runtimeNumCPU
+
+func runtimeNumCPU() int { return runtime.NumCPU() }

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"refer/internal/metrics"
+)
+
+func testFigure() Figure {
+	return Figure{
+		ID: "4", Title: "t", XLabel: "speed", YLabel: "pkt/s",
+		Series: []Series{
+			{System: "REFER", Points: []Point{
+				{X: 0.5, Y: metrics.Summarize([]float64{3, 3})},
+				{X: 1.0, Y: metrics.Summarize([]float64{2, 4})},
+			}},
+			{System: "DaTree", Points: []Point{
+				{X: 0.5, Y: metrics.Summarize([]float64{2, 2})},
+				{X: 1.0, Y: metrics.Summarize([]float64{1, 1})},
+			}},
+		},
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	table := testFigure().Table()
+	for _, want := range []string{"Figure 4", "REFER", "DaTree", "0.5", "3.000"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	empty := Figure{ID: "9"}
+	if got := empty.Table(); !strings.Contains(got, "Figure 9") {
+		t.Fatalf("empty table: %q", got)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	csv := testFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != "speed,REFER mean,REFER ci95,DaTree mean,DaTree ci95" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0.5,3,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"has,comma", `"has,comma"`},
+		{`has"quote`, `"has""quote"`},
+		{"has\nnewline", "\"has\nnewline\""},
+	}
+	for _, tt := range tests {
+		if got := csvEscape(tt.in); got != tt.want {
+			t.Errorf("csvEscape(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if len(o.Seeds) != 5 || len(o.Systems) != 4 || o.Sensors != 200 {
+		t.Fatalf("defaults: %+v", o)
+	}
+}

@@ -1,0 +1,131 @@
+package geo
+
+import "math"
+
+// Grid is a spatial hash over a rectangular region that answers "which
+// items lie within range ρ of point p" in time proportional to the local
+// density rather than the population. The simulator rebuilds it whenever
+// node positions advance, so construction is allocation-conscious.
+type Grid struct {
+	region Rect
+	cell   float64
+	cols   int
+	rows   int
+	// buckets[row*cols+col] holds item indices.
+	buckets [][]int
+	points  []Point
+}
+
+// NewGrid builds a grid over region with the given cell size. Items are
+// registered with Insert. Cell size should be on the order of the query
+// radius for best performance.
+func NewGrid(region Rect, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	cols := int(math.Ceil(region.Width()/cellSize)) + 1
+	rows := int(math.Ceil(region.Height()/cellSize)) + 1
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Grid{
+		region:  region,
+		cell:    cellSize,
+		cols:    cols,
+		rows:    rows,
+		buckets: make([][]int, cols*rows),
+	}
+}
+
+func (g *Grid) bucketIndex(p Point) int {
+	col := int((p.X - g.region.Min.X) / g.cell)
+	row := int((p.Y - g.region.Min.Y) / g.cell)
+	if col < 0 {
+		col = 0
+	}
+	if col >= g.cols {
+		col = g.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= g.rows {
+		row = g.rows - 1
+	}
+	return row*g.cols + col
+}
+
+// Insert registers an item by index at position p. Indices are expected to
+// be assigned densely (0, 1, 2, …) by the caller.
+func (g *Grid) Insert(index int, p Point) {
+	for len(g.points) <= index {
+		g.points = append(g.points, Point{})
+	}
+	g.points[index] = p
+	b := g.bucketIndex(p)
+	g.buckets[b] = append(g.buckets[b], index)
+}
+
+// Len returns the number of registered items.
+func (g *Grid) Len() int { return len(g.points) }
+
+// Position returns the registered position of an item.
+func (g *Grid) Position(index int) Point { return g.points[index] }
+
+// Within appends to dst the indices of all items within radius of p
+// (inclusive), excluding the item with index == exclude (pass -1 to keep
+// all). The result ordering is deterministic (bucket-major, insertion
+// order within buckets).
+func (g *Grid) Within(dst []int, p Point, radius float64, exclude int) []int {
+	minCol := int((p.X - radius - g.region.Min.X) / g.cell)
+	maxCol := int((p.X + radius - g.region.Min.X) / g.cell)
+	minRow := int((p.Y - radius - g.region.Min.Y) / g.cell)
+	maxRow := int((p.Y + radius - g.region.Min.Y) / g.cell)
+	if minCol < 0 {
+		minCol = 0
+	}
+	if minRow < 0 {
+		minRow = 0
+	}
+	if maxCol >= g.cols {
+		maxCol = g.cols - 1
+	}
+	if maxRow >= g.rows {
+		maxRow = g.rows - 1
+	}
+	r2 := radius * radius
+	for row := minRow; row <= maxRow; row++ {
+		for col := minCol; col <= maxCol; col++ {
+			for _, idx := range g.buckets[row*g.cols+col] {
+				if idx == exclude {
+					continue
+				}
+				q := g.points[idx]
+				dx, dy := q.X-p.X, q.Y-p.Y
+				if dx*dx+dy*dy <= r2 {
+					dst = append(dst, idx)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Nearest returns the index of the registered item closest to p, excluding
+// exclude (pass -1 to keep all), or -1 when the grid is empty. Ties resolve
+// to the lowest index.
+func (g *Grid) Nearest(p Point, exclude int) int {
+	best, bestDist := -1, math.Inf(1)
+	for idx, q := range g.points {
+		if idx == exclude {
+			continue
+		}
+		if d := p.Dist(q); d < bestDist || (d == bestDist && best == -1) {
+			best, bestDist = idx, d
+		}
+	}
+	return best
+}

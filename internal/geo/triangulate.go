@@ -1,0 +1,176 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triangle is an actuator triple that bounds one REFER cell, identified by
+// the indices of its three corner actuators.
+type Triangle struct {
+	A, B, C int
+}
+
+// canon returns the triangle with sorted vertex indices.
+func (t Triangle) canon() Triangle {
+	a, b, c := t.A, t.B, t.C
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Triangle{A: a, B: b, C: c}
+}
+
+// Vertices returns the three corner indices.
+func (t Triangle) Vertices() [3]int { return [3]int{t.A, t.B, t.C} }
+
+// Centroid returns the triangle centroid given the vertex positions.
+func (t Triangle) Centroid(pts []Point) Point {
+	a, b, c := pts[t.A], pts[t.B], pts[t.C]
+	return Point{X: (a.X + b.X + c.X) / 3, Y: (a.Y + b.Y + c.Y) / 3}
+}
+
+// Triangulate partitions the actuator layer into triangles (REFER cells,
+// Section III-B-1: the starting server "locally partitions the global
+// topology to a series of triangles"). Input is the actuator positions and
+// the communication graph adjacency (adj[i] lists the indices of actuators
+// within radio range of i). Only triangles whose three corners are mutually
+// adjacent qualify — the cell's actuators must talk directly.
+//
+// The partition greedily accepts non-overlapping triangles (no two kept
+// triangles' interiors intersect), preferring small-perimeter (physically
+// tight) ones, which yields the planar-subdivision-like cell layout the
+// paper sketches in Figure 1. Results are deterministic for a given input.
+func Triangulate(pts []Point, adj [][]int) ([]Triangle, error) {
+	n := len(pts)
+	if n < 3 {
+		return nil, fmt.Errorf("geo: need at least 3 actuators, have %d", n)
+	}
+	neighbor := make([]map[int]bool, n)
+	for i := range neighbor {
+		neighbor[i] = make(map[int]bool, len(adj[i]))
+		for _, j := range adj[i] {
+			neighbor[i][j] = true
+		}
+	}
+	var candidates []Triangle
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !neighbor[a][b] {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if neighbor[a][c] && neighbor[b][c] && !collinear(pts[a], pts[b], pts[c]) {
+					candidates = append(candidates, Triangle{A: a, B: b, C: c})
+				}
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("geo: actuator graph contains no triangle")
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		pi, pj := perimeter(candidates[i], pts), perimeter(candidates[j], pts)
+		if pi != pj {
+			return pi < pj
+		}
+		return less3(candidates[i], candidates[j])
+	})
+	var kept []Triangle
+	for _, cand := range candidates {
+		ok := true
+		for _, k := range kept {
+			if trianglesOverlap(cand, k, pts) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, cand.canon())
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return less3(kept[i], kept[j]) })
+	return kept, nil
+}
+
+func less3(a, b Triangle) bool {
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	return a.C < b.C
+}
+
+func perimeter(t Triangle, pts []Point) float64 {
+	return pts[t.A].Dist(pts[t.B]) + pts[t.B].Dist(pts[t.C]) + pts[t.C].Dist(pts[t.A])
+}
+
+func collinear(a, b, c Point) bool {
+	return cross(a, b, c) == 0
+}
+
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// trianglesOverlap reports whether the interiors of two triangles intersect.
+// Sharing an edge or vertex does not count as overlap.
+func trianglesOverlap(t1, t2 Triangle, pts []Point) bool {
+	a := [3]Point{pts[t1.A], pts[t1.B], pts[t1.C]}
+	b := [3]Point{pts[t2.A], pts[t2.B], pts[t2.C]}
+	// Interior point containment.
+	if pointInTriangleStrict(a[0], b) || pointInTriangleStrict(a[1], b) || pointInTriangleStrict(a[2], b) {
+		return true
+	}
+	if pointInTriangleStrict(b[0], a) || pointInTriangleStrict(b[1], a) || pointInTriangleStrict(b[2], a) {
+		return true
+	}
+	if pointInTriangleStrict(centroid(a), b) || pointInTriangleStrict(centroid(b), a) {
+		return true
+	}
+	// Proper edge crossings.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if segmentsCrossStrict(a[i], a[(i+1)%3], b[j], b[(j+1)%3]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func centroid(t [3]Point) Point {
+	return Point{X: (t[0].X + t[1].X + t[2].X) / 3, Y: (t[0].Y + t[1].Y + t[2].Y) / 3}
+}
+
+// pointInTriangleStrict reports whether p lies strictly inside triangle t.
+func pointInTriangleStrict(p Point, t [3]Point) bool {
+	d1 := cross(t[0], t[1], p)
+	d2 := cross(t[1], t[2], p)
+	d3 := cross(t[2], t[0], p)
+	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+	hasPos := d1 > 0 || d2 > 0 || d3 > 0
+	if hasNeg && hasPos {
+		return false
+	}
+	// On an edge (some cross product zero) does not count as inside.
+	return d1 != 0 && d2 != 0 && d3 != 0
+}
+
+// segmentsCrossStrict reports whether segments ab and cd cross at a point
+// interior to both.
+func segmentsCrossStrict(a, b, c, d Point) bool {
+	d1 := cross(c, d, a)
+	d2 := cross(c, d, b)
+	d3 := cross(a, b, c)
+	d4 := cross(a, b, d)
+	return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))
+}

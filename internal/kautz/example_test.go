@@ -1,0 +1,56 @@
+package kautz_test
+
+import (
+	"fmt"
+
+	"refer/internal/kautz"
+)
+
+// The paper's Figure 2(a): node 0123 of K(4,4) computes its four disjoint
+// paths to 2301 from the IDs alone.
+func ExampleRoutes() {
+	routes, err := kautz.Routes(4, "0123", "2301")
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range routes {
+		fmt.Printf("%s via %s, length %d\n", r.Class, r.Successor, r.Len())
+	}
+	// Output:
+	// shortest via 1230, length 2
+	// via-v1 via 1232, length 4
+	// detour via 1234, length 5
+	// conflict via 1231, length 6
+}
+
+// The greedy shortest protocol of Section III-C-1.
+func ExampleGreedyNext() {
+	next, err := kautz.GreedyNext("12345", "34501")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(next)
+	// Output: 23450
+}
+
+// Distance is k − L(U,V): the suffix-prefix overlap rule.
+func ExampleDistance() {
+	fmt.Println(kautz.Distance("120", "201"))
+	fmt.Println(kautz.Distance("0123", "2301"))
+	// Output:
+	// 1
+	// 2
+}
+
+// Enumerating the paper's cell graph K(2,3).
+func ExampleNew() {
+	g, err := kautz.New(2, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.N(), "nodes, degree", g.Degree(), "diameter", g.Diameter())
+	fmt.Println("successors of 012:", g.Successors("012"))
+	// Output:
+	// 12 nodes, degree 2 diameter 3
+	// successors of 012: [120 121]
+}

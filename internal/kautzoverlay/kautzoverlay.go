@@ -1,0 +1,364 @@
+// Package kautzoverlay implements the Kautz-overlay baseline (Zuo et al.,
+// ICOIN'08, as modeled in Section IV of the REFER paper): a Kautz graph
+// built on the application layer of a MANET with no topology consistency.
+//
+// Overlay IDs are assigned without regard to physical position, so overlay
+// neighbors are usually physically distant and every overlay arc is a
+// multi-hop MANET path discovered by flooding — the dominant construction
+// cost the paper's Figure 10 shows. Routing uses REFER's Theorem 3.8
+// protocol on the overlay (the paper equalizes the routing rule "to have a
+// fair comparison"), but every overlay hop rides a stored physical path;
+// when one breaks, the node floods to re-establish it.
+package kautzoverlay
+
+import (
+	"fmt"
+	"sort"
+
+	"refer/internal/energy"
+	"refer/internal/kautz"
+	"refer/internal/manet"
+	"refer/internal/world"
+)
+
+// Config parameterizes the overlay.
+type Config struct {
+	// Degree is the Kautz degree d (default 2).
+	Degree int
+	// FloodTTL bounds path discovery floods.
+	FloodTTL int
+	// HopBudget bounds overlay hops per packet (loop protection);
+	// 0 derives it from the overlay diameter.
+	HopBudget int
+	// MemberSpacing is the minimum spacing between elected overlay
+	// members in meters; the overlay is built over spread-out super-nodes
+	// (the ICOIN'08 scheme elects cluster heads), not every sensor.
+	MemberSpacing float64
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{Degree: 2, FloodTTL: manet.DefaultTTL, MemberSpacing: 100}
+}
+
+// System is a built Kautz-overlay network.
+type System struct {
+	w   *world.World
+	cfg Config
+
+	graph    *kautz.Graph
+	kidOf    map[world.NodeID]kautz.ID
+	nodeOf   map[kautz.ID]world.NodeID
+	links    map[linkKey][]world.NodeID // physical path per overlay arc
+	diameter int
+	built    bool
+	// rebuilding coalesces concurrent rebuilds of the same overlay link.
+	rebuilding map[linkKey][]func(ok bool)
+
+	stats Stats
+}
+
+type linkKey struct {
+	from kautz.ID
+	to   kautz.ID
+}
+
+// Stats counts protocol activity.
+type Stats struct {
+	// PathRebuilds counts overlay-link re-discovery floods.
+	PathRebuilds int
+	// FailoverSwitches counts Theorem 3.8 alternate-successor decisions.
+	FailoverSwitches int
+	// Drops counts abandoned packets.
+	Drops int
+}
+
+// New creates an unbuilt overlay on w.
+func New(w *world.World, cfg Config) *System {
+	if cfg.Degree <= 0 {
+		cfg.Degree = 2
+	}
+	if cfg.FloodTTL <= 0 {
+		cfg.FloodTTL = manet.DefaultTTL
+	}
+	if cfg.MemberSpacing <= 0 {
+		cfg.MemberSpacing = DefaultConfig().MemberSpacing
+	}
+	return &System{
+		w:          w,
+		cfg:        cfg,
+		kidOf:      make(map[world.NodeID]kautz.ID),
+		nodeOf:     make(map[kautz.ID]world.NodeID),
+		links:      make(map[linkKey][]world.NodeID),
+		rebuilding: make(map[linkKey][]func(ok bool)),
+	}
+}
+
+// Name implements the System interface.
+func (s *System) Name() string { return "Kautz-overlay" }
+
+// Stats returns a snapshot of the protocol counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Graph returns the overlay's Kautz graph.
+func (s *System) Graph() *kautz.Graph { return s.graph }
+
+// KIDOf returns a node's overlay ID.
+func (s *System) KIDOf(id world.NodeID) (kautz.ID, bool) {
+	kid, ok := s.kidOf[id]
+	return kid, ok
+}
+
+// Build chooses the largest complete K(d,k) that fits the population,
+// assigns overlay IDs (actuators first, then sensors in ID order — i.e.
+// with no topology awareness), and flood-discovers a physical path for
+// every overlay arc.
+func (s *System) Build() error {
+	var actuators, sensors []world.NodeID
+	for _, n := range s.w.Nodes() {
+		if n.Kind == world.Actuator {
+			actuators = append(actuators, n.ID)
+		} else {
+			sensors = append(sensors, n.ID)
+		}
+	}
+	// Member election (the ICOIN'08 clustering step): actuators plus
+	// sensors spaced at least MemberSpacing apart, greedily by node ID.
+	// Each elected member announces itself with one broadcast.
+	members := append([]world.NodeID(nil), actuators...)
+	for _, id := range sensors {
+		p := s.w.Position(id)
+		spaced := true
+		for _, m := range members {
+			if p.Dist(s.w.Position(m)) < s.cfg.MemberSpacing {
+				spaced = false
+				break
+			}
+		}
+		if spaced {
+			members = append(members, id)
+			s.w.Broadcast(id, energy.Construction, nil)
+		}
+	}
+	total := len(members)
+	k := 1
+	for kautz.NumNodes(s.cfg.Degree, k+1) <= total {
+		k++
+	}
+	if kautz.NumNodes(s.cfg.Degree, k) > total {
+		return fmt.Errorf("kautzoverlay: %d members cannot host K(%d,%d)", total, s.cfg.Degree, k)
+	}
+	g, err := kautz.New(s.cfg.Degree, k)
+	if err != nil {
+		return fmt.Errorf("kautzoverlay: %w", err)
+	}
+	s.graph = g
+	s.diameter = k
+	if s.cfg.HopBudget <= 0 {
+		s.cfg.HopBudget = 3*k + 4
+	}
+
+	// ID assignment ignores physical topology (the defining flaw): KIDs go
+	// to the first N members in node-ID order, blind to position.
+	members = members[:g.N()]
+	kids := g.Nodes()
+	for i, id := range members {
+		s.kidOf[id] = kids[i]
+		s.nodeOf[kids[i]] = id
+	}
+
+	// Every overlay node floods to discover a physical path to each of its
+	// d overlay successors — the expensive construction step.
+	sortedKIDs := append([]kautz.ID(nil), kids...)
+	sort.Slice(sortedKIDs, func(i, j int) bool { return sortedKIDs[i] < sortedKIDs[j] })
+	for _, kid := range sortedKIDs {
+		from := s.nodeOf[kid]
+		for _, succ := range g.Successors(kid) {
+			to := s.nodeOf[succ]
+			key := linkKey{from: kid, to: succ}
+			manet.DiscoverRoute(s.w, from, to, s.cfg.FloodTTL, energy.Construction,
+				func(path []world.NodeID) {
+					if path != nil {
+						s.links[key] = path
+					}
+				})
+		}
+	}
+	s.built = true
+	return nil
+}
+
+// Inject routes one packet from src to the overlay ID of its physically
+// nearest actuator using the Theorem 3.8 protocol over multi-hop links.
+func (s *System) Inject(src world.NodeID, done func(ok bool)) {
+	finish := func(ok bool) {
+		if !ok {
+			s.stats.Drops++
+		}
+		if done != nil {
+			done(ok)
+		}
+	}
+	if !s.built || !s.w.Node(src).Alive() {
+		finish(false)
+		return
+	}
+	dstActuator := s.w.NearestActuator(src)
+	if dstActuator == world.NoNode {
+		finish(false)
+		return
+	}
+	dstKID, ok := s.kidOf[dstActuator]
+	if !ok {
+		finish(false)
+		return
+	}
+	entry := src
+	if _, member := s.kidOf[src]; !member {
+		entry = s.nearestMember(src)
+		if entry == world.NoNode {
+			finish(false)
+			return
+		}
+		s.w.Send(src, entry, energy.Communication, func(o world.Outcome) {
+			if o != world.Delivered {
+				finish(false)
+				return
+			}
+			s.route(entry, dstKID, s.cfg.HopBudget, finish)
+		})
+		return
+	}
+	s.route(entry, dstKID, s.cfg.HopBudget, finish)
+}
+
+// nearestMember returns the nearest alive overlay member in radio range.
+func (s *System) nearestMember(src world.NodeID) world.NodeID {
+	best, bestDist := world.NoNode, 0.0
+	p := s.w.Position(src)
+	r := s.w.Node(src).Range
+	for id := range s.kidOf {
+		if id == src || !s.w.Node(id).Alive() {
+			continue
+		}
+		d := p.Dist(s.w.Position(id))
+		if d > r {
+			continue
+		}
+		if best == world.NoNode || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	return best
+}
+
+// route performs one overlay routing step at node at toward dstKID.
+func (s *System) route(at world.NodeID, dstKID kautz.ID, budget int, done func(ok bool)) {
+	atKID, ok := s.kidOf[at]
+	if !ok {
+		done(false)
+		return
+	}
+	if atKID == dstKID {
+		done(true)
+		return
+	}
+	if budget <= 0 {
+		done(false)
+		return
+	}
+	routes, err := kautz.Routes(s.cfg.Degree, atKID, dstKID)
+	if err != nil {
+		done(false)
+		return
+	}
+	s.tryRoutes(at, dstKID, routes, 0, budget, done)
+}
+
+// tryRoutes walks the ranked Theorem 3.8 successors; each overlay hop rides
+// the stored physical path, rebuilt by flooding when broken.
+func (s *System) tryRoutes(at world.NodeID, dstKID kautz.ID, routes []kautz.Route, idx, budget int, done func(ok bool)) {
+	if idx >= len(routes) {
+		done(false)
+		return
+	}
+	atKID := s.kidOf[at]
+	succ := routes[idx].Successor
+	next, ok := s.nodeOf[succ]
+	if !ok || !s.w.Node(next).Alive() {
+		s.stats.FailoverSwitches++
+		s.tryRoutes(at, dstKID, routes, idx+1, budget, done)
+		return
+	}
+	s.overlayHop(atKID, succ, at, next, true, func(delivered bool) {
+		if delivered {
+			s.route(next, dstKID, budget-1, done)
+			return
+		}
+		s.stats.FailoverSwitches++
+		s.tryRoutes(at, dstKID, routes, idx+1, budget, done)
+	})
+}
+
+// overlayHop sends across one overlay arc along its stored physical path;
+// on a break it floods once to re-establish the path and retries.
+func (s *System) overlayHop(fromKID, toKID kautz.ID, from, to world.NodeID, mayRebuild bool, done func(ok bool)) {
+	key := linkKey{from: fromKID, to: toKID}
+	path := s.links[key]
+	if len(path) == 0 || !manet.PathValid(s.w, path) {
+		if !mayRebuild {
+			done(false)
+			return
+		}
+		s.rebuildLink(key, from, to, func(ok bool) {
+			if !ok {
+				done(false)
+				return
+			}
+			s.overlayHop(fromKID, toKID, from, to, false, done)
+		})
+		return
+	}
+	manet.SendAlongPath(s.w, path, energy.Communication,
+		func() { done(true) },
+		func(int) {
+			if !mayRebuild {
+				done(false)
+				return
+			}
+			s.rebuildLink(key, from, to, func(ok bool) {
+				if !ok {
+					done(false)
+					return
+				}
+				s.overlayHop(fromKID, toKID, from, to, false, done)
+			})
+		})
+}
+
+// rebuildLink floods to re-discover the physical path of an overlay arc
+// ("it uses broadcasting to re-establish a path to the node"). Concurrent
+// packets crossing the same broken arc share one discovery flood.
+func (s *System) rebuildLink(key linkKey, from, to world.NodeID, done func(ok bool)) {
+	if !s.w.Node(from).Alive() {
+		done(false)
+		return
+	}
+	if waiting, inFlight := s.rebuilding[key]; inFlight {
+		s.rebuilding[key] = append(waiting, done)
+		return
+	}
+	s.rebuilding[key] = []func(bool){done}
+	s.stats.PathRebuilds++
+	manet.DiscoverRoute(s.w, from, to, s.cfg.FloodTTL, energy.Communication,
+		func(path []world.NodeID) {
+			if path != nil {
+				s.links[key] = path
+			}
+			waiting := s.rebuilding[key]
+			delete(s.rebuilding, key)
+			for _, w := range waiting {
+				w(path != nil)
+			}
+		})
+}

@@ -1,0 +1,135 @@
+// Package scenario constructs the evaluation's deployment (Section IV):
+// five actuators in a 500 m × 500 m field whose triangulation yields four
+// REFER cells, and N sensors i.i.d. deployed around the actuators, moving
+// by random waypoint. All systems under comparison are built on worlds from
+// this package so the comparison is apples-to-apples.
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"refer/internal/geo"
+	"refer/internal/mobility"
+	"refer/internal/world"
+)
+
+// Params configures a deployment.
+type Params struct {
+	// Seed drives deployment and all in-world randomness.
+	Seed int64
+	// Sensors is the sensor population (paper default 200).
+	Sensors int
+	// MaxSpeed is the random-waypoint speed cap in m/s (speed is uniform in
+	// [0, MaxSpeed]; the paper sweeps the cap from 1 to 5).
+	MaxSpeed float64
+	// Side is the square field's side length in meters (default 500).
+	Side float64
+	// SensorRange and ActuatorRange are the radio ranges in meters
+	// (defaults 100 and 250, Section IV).
+	SensorRange   float64
+	ActuatorRange float64
+	// AnchorRadius is how far around its anchor actuator each sensor is
+	// deployed ("i.i.d distributed around the actuators"); default 140 m.
+	AnchorRadius float64
+	// SensorBattery is the per-sensor energy budget (<= 0: unconstrained,
+	// the evaluation's setting — energy is a metric, not a constraint).
+	SensorBattery float64
+	// HopJitter overrides the world's MAC jitter when > 0.
+	HopJitter time.Duration
+}
+
+// Defaults fills zero fields with the paper's values.
+func (p Params) Defaults() Params {
+	if p.Sensors == 0 {
+		p.Sensors = 200
+	}
+	if p.Side == 0 {
+		p.Side = 500
+	}
+	if p.SensorRange == 0 {
+		p.SensorRange = 100
+	}
+	if p.ActuatorRange == 0 {
+		p.ActuatorRange = 250
+	}
+	if p.AnchorRadius == 0 {
+		p.AnchorRadius = 140
+	}
+	return p
+}
+
+// ActuatorLayout returns the five actuator positions for a field of the
+// given side: four at the inner corners plus one center, the layout whose
+// triangulation produces the paper's four cells while keeping every
+// triangle edge within actuator radio range.
+func ActuatorLayout(side float64) []geo.Point {
+	inset := side * 0.3
+	return []geo.Point{
+		{X: inset, Y: inset},
+		{X: side - inset, Y: inset},
+		{X: side - inset, Y: side - inset},
+		{X: inset, Y: side - inset},
+		{X: side / 2, Y: side / 2},
+	}
+}
+
+// Build creates the world: actuators (static, mains-powered) then sensors
+// (random-waypoint movers anchored near random actuators).
+func Build(p Params) *world.World {
+	p = p.Defaults()
+	cfg := world.DefaultConfig()
+	cfg.Region = geo.Square(p.Side)
+	cfg.Seed = p.Seed
+	if p.HopJitter > 0 {
+		cfg.HopJitter = p.HopJitter
+	}
+	w := world.New(cfg)
+	layout := ActuatorLayout(p.Side)
+	for _, pos := range layout {
+		w.AddNode(world.Actuator, mobility.Static{P: pos}, p.ActuatorRange, 0)
+	}
+	// Sensors patrol the sensed region — the area the cells cover plus a
+	// margin — rather than the whole field, mirroring the paper's premise
+	// that the Kautz cells "seamlessly cover the sensed region".
+	patrol := SensedRegion(p.Side)
+	// Deployment RNG is separate from the world RNG so protocol randomness
+	// does not perturb node placement across configurations.
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	for i := 0; i < p.Sensors; i++ {
+		anchor := layout[rng.Intn(len(layout))]
+		pos := cfg.Region.RandomPointNear(rng, anchor, p.AnchorRadius)
+		var mob mobility.Model
+		if p.MaxSpeed > 0 {
+			mob = mobility.NewWaypoint(patrol, pos, p.MaxSpeed, rng)
+		} else {
+			mob = mobility.Static{P: pos}
+		}
+		w.AddNode(world.Sensor, mob, p.SensorRange, p.SensorBattery)
+	}
+	return w
+}
+
+// SensedRegion returns the patrol area of the sensors: the cell-covered
+// square expanded by a 50 m margin.
+func SensedRegion(side float64) geo.Rect {
+	inset := side*0.3 - 50
+	if inset < 0 {
+		inset = 0
+	}
+	return geo.Rect{
+		Min: geo.Point{X: inset, Y: inset},
+		Max: geo.Point{X: side - inset, Y: side - inset},
+	}
+}
+
+// SensorIDs returns the IDs of all sensors in a world built by Build.
+func SensorIDs(w *world.World) []world.NodeID {
+	var out []world.NodeID
+	for _, n := range w.Nodes() {
+		if n.Kind == world.Sensor {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"refer/internal/core"
+	"refer/internal/scenario"
+)
+
+func TestSVGRendersAllLayers(t *testing.T) {
+	w := scenario.Build(scenario.Params{Seed: 1, Sensors: 200})
+	sys := core.New(w, core.DefaultConfig())
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	svg := SVG(w, sys, 800)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, want := range []string{"polygon", "cell 0", "cell 3", "rect", "circle", "012", "201"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// 5 actuator squares plus the background rect.
+	if got := strings.Count(svg, "<rect"); got != 6 {
+		t.Fatalf("rect count = %d, want 6", got)
+	}
+	// Four cell triangles.
+	if got := strings.Count(svg, "<polygon"); got != 4 {
+		t.Fatalf("polygon count = %d, want 4", got)
+	}
+	// Overlay arcs drawn as lines: 4 cells × up to 24 arcs of K(2,3).
+	if got := strings.Count(svg, "<line"); got < 40 {
+		t.Fatalf("line count = %d, want >= 40", got)
+	}
+}
+
+func TestSVGDefaultWidth(t *testing.T) {
+	w := scenario.Build(scenario.Params{Seed: 2, Sensors: 200})
+	sys := core.New(w, core.DefaultConfig())
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	svg := SVG(w, sys, 0)
+	if !strings.Contains(svg, `width="800"`) {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestSVGMarksFailedSensors(t *testing.T) {
+	w := scenario.Build(scenario.Params{Seed: 3, Sensors: 200})
+	sys := core.New(w, core.DefaultConfig())
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// Fail a plain (non-overlay) sensor and check the failure tint shows.
+	for _, id := range scenario.SensorIDs(w) {
+		if _, overlay := sys.AddressOf(id); !overlay {
+			w.SetFailed(id, true)
+			break
+		}
+	}
+	if !strings.Contains(SVG(w, sys, 400), "#f5b7b1") {
+		t.Fatal("failed sensor tint missing")
+	}
+}

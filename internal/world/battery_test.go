@@ -1,0 +1,61 @@
+package world
+
+import (
+	"testing"
+
+	"refer/internal/energy"
+	"refer/internal/geo"
+	"refer/internal/mobility"
+)
+
+func TestBatteryDepletionStopsParticipation(t *testing.T) {
+	w := New(Config{Region: geo.Square(500), Seed: 1})
+	// 10 J battery: enough for 5 transmissions at 2 J.
+	w.AddNode(Sensor, mobility.Static{P: geo.Point{X: 0, Y: 0}}, 100, 10)
+	w.AddNode(Sensor, mobility.Static{P: geo.Point{X: 50, Y: 0}}, 100, 0)
+	outcomes := make([]Outcome, 0, 8)
+	for i := 0; i < 8; i++ {
+		w.Send(0, 1, energy.Communication, func(o Outcome) { outcomes = append(outcomes, o) })
+	}
+	w.Sched.Run()
+	delivered, failed := 0, 0
+	for _, o := range outcomes {
+		switch o {
+		case Delivered:
+			delivered++
+		case SenderFailed:
+			failed++
+		}
+	}
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5 (battery budget)", delivered)
+	}
+	if failed != 3 {
+		t.Fatalf("sender-failed = %d, want 3 (depleted)", failed)
+	}
+	if w.Node(0).Alive() {
+		t.Fatal("depleted node still alive")
+	}
+	// Depleted nodes also vanish from the alive-neighbor view.
+	if got := w.AliveNeighbors(nil, 1); len(got) != 0 {
+		t.Fatalf("AliveNeighbors = %v, want none", got)
+	}
+}
+
+func TestReceptionDrainsBattery(t *testing.T) {
+	w := New(Config{Region: geo.Square(500), Seed: 1})
+	w.AddNode(Sensor, mobility.Static{P: geo.Point{X: 0, Y: 0}}, 100, 0)
+	// 1.5 J battery: enough for exactly 2 receptions at 0.75 J.
+	w.AddNode(Sensor, mobility.Static{P: geo.Point{X: 50, Y: 0}}, 100, 1.5)
+	results := make([]Outcome, 0, 3)
+	for i := 0; i < 3; i++ {
+		w.Send(0, 1, energy.Communication, func(o Outcome) { results = append(results, o) })
+	}
+	w.Sched.Run()
+	if results[0] != Delivered || results[1] != Delivered {
+		t.Fatalf("first two sends: %v", results[:2])
+	}
+	if results[2] != ReceiverFailed {
+		t.Fatalf("third send = %v, want receiver-failed (depleted)", results[2])
+	}
+}

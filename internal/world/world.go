@@ -1,0 +1,471 @@
+// Package world is the WSAN substrate the four evaluated systems run on: a
+// discrete-event radio network of mobile sensors and actuators on a plane.
+//
+// It replaces the paper's ns-2/802.11 stack with a protocol-level model
+// that preserves the effects the evaluation measures:
+//
+//   - unit-disk connectivity with per-node transmission ranges (100 m
+//     sensors, 250 m actuators by default),
+//   - per-hop transmission time plus random backoff, with sender-side
+//     queueing so congested relays build delay,
+//   - per-packet Tx/Rx energy charged to construction or communication
+//     ledgers (2 / 0.75 J as in Section IV),
+//   - broadcast and TTL-bounded flooding (the expensive repair primitive
+//     of the baseline systems),
+//   - node mobility via closed-form mobility models, and fault injection.
+//
+// The package is deliberately protocol-agnostic: systems drive it through
+// Send/Broadcast/Flood callbacks and keep their own routing state.
+package world
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"refer/internal/des"
+	"refer/internal/energy"
+	"refer/internal/geo"
+	"refer/internal/mobility"
+)
+
+// NodeID identifies a node in the world. IDs are dense, starting at 0.
+type NodeID int
+
+// NoNode is the sentinel for "no node".
+const NoNode NodeID = -1
+
+// Kind distinguishes resource-poor sensors from resource-rich actuators.
+type Kind int
+
+const (
+	// Sensor is a low-power sensing device with a short radio range.
+	Sensor Kind = iota + 1
+	// Actuator is a resource-rich device with a long radio range and an
+	// unconstrained power supply.
+	Actuator
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Sensor:
+		return "sensor"
+	case Actuator:
+		return "actuator"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Outcome reports why a transmission concluded.
+type Outcome int
+
+const (
+	// Delivered means the packet reached the receiver.
+	Delivered Outcome = iota + 1
+	// OutOfRange means the receiver was beyond the sender's radio range.
+	OutOfRange
+	// ReceiverFailed means the receiver was injected as faulty.
+	ReceiverFailed
+	// SenderFailed means the sender itself was faulty or depleted.
+	SenderFailed
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case OutOfRange:
+		return "out-of-range"
+	case ReceiverFailed:
+		return "receiver-failed"
+	case SenderFailed:
+		return "sender-failed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Config parameterizes the radio and MAC model.
+type Config struct {
+	// Region is the deployment area (paper: 500 m × 500 m).
+	Region geo.Rect
+	// Seed drives all randomness in the world.
+	Seed int64
+	// Energy is the per-packet cost model.
+	Energy energy.Model
+	// HopDelay is the packet transmission time at the radio bit rate.
+	HopDelay time.Duration
+	// HopJitter is the maximum random MAC backoff added per transmission.
+	HopJitter time.Duration
+	// AckTimeout is how long a sender waits before concluding a
+	// transmission failed (lost ack, dead receiver, broken link).
+	AckTimeout time.Duration
+	// SensorBattery is the per-sensor energy budget in Joules; <= 0 means
+	// unconstrained.
+	SensorBattery float64
+}
+
+// DefaultConfig returns the model used throughout the evaluation: 2 ms hop
+// transmission time (≈1 KB at 802.11 data rates plus MAC overhead), up to
+// 1 ms backoff, 20 ms failure detection.
+func DefaultConfig() Config {
+	return Config{
+		Region:     geo.Square(500),
+		Energy:     energy.DefaultModel(),
+		HopDelay:   2 * time.Millisecond,
+		HopJitter:  time.Millisecond,
+		AckTimeout: 20 * time.Millisecond,
+	}
+}
+
+// Node is one radio device.
+type Node struct {
+	ID    NodeID
+	Kind  Kind
+	Range float64
+	Meter *energy.Meter
+	Mob   mobility.Model
+
+	failed    bool
+	busyUntil time.Duration
+}
+
+// Failed reports whether the node is currently injected as faulty.
+func (n *Node) Failed() bool { return n.failed }
+
+// Alive reports whether the node can participate in the protocol: not
+// faulty and not battery-depleted.
+func (n *Node) Alive() bool { return !n.failed && !n.Meter.Depleted() }
+
+// World is the simulated WSAN.
+type World struct {
+	// Sched is the discrete-event core; systems may schedule their own
+	// protocol timers on it.
+	Sched des.Scheduler
+
+	cfg   Config
+	rng   *rand.Rand
+	nodes []*Node
+
+	grid   *geo.Grid
+	gridAt time.Duration
+	gridOK bool
+}
+
+// New creates an empty world.
+func New(cfg Config) *World {
+	if cfg.HopDelay <= 0 {
+		cfg.HopDelay = DefaultConfig().HopDelay
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = DefaultConfig().AckTimeout
+	}
+	if cfg.Region.Width() <= 0 || cfg.Region.Height() <= 0 {
+		cfg.Region = DefaultConfig().Region
+	}
+	if cfg.Energy == (energy.Model{}) {
+		cfg.Energy = energy.DefaultModel()
+	}
+	return &World{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Config returns the world's configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Rand returns the world's deterministic random source. Systems must draw
+// all their randomness from it so runs replay identically per seed.
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// Now returns the current virtual time.
+func (w *World) Now() time.Duration { return w.Sched.Now() }
+
+// AddNode registers a node and returns it. Battery semantics follow
+// energy.NewMeter (<= 0 means unconstrained; actuators conventionally pass 0).
+func (w *World) AddNode(kind Kind, mob mobility.Model, radioRange, battery float64) *Node {
+	n := &Node{
+		ID:    NodeID(len(w.nodes)),
+		Kind:  kind,
+		Range: radioRange,
+		Meter: energy.NewMeter(w.cfg.Energy, battery),
+		Mob:   mob,
+	}
+	w.nodes = append(w.nodes, n)
+	w.gridOK = false
+	return n
+}
+
+// Node returns the node with the given ID; it panics on an invalid ID,
+// which is always a programming error in a system implementation.
+func (w *World) Node(id NodeID) *Node { return w.nodes[id] }
+
+// Len returns the number of nodes.
+func (w *World) Len() int { return len(w.nodes) }
+
+// Nodes returns the node list (shared slice; callers must not mutate).
+func (w *World) Nodes() []*Node { return w.nodes }
+
+// Position returns a node's position at the current virtual time.
+func (w *World) Position(id NodeID) geo.Point {
+	return w.nodes[id].Mob.At(w.Sched.Now())
+}
+
+// Distance returns the current distance between two nodes.
+func (w *World) Distance(a, b NodeID) float64 {
+	return w.Position(a).Dist(w.Position(b))
+}
+
+// LinkRange returns the usable link range between two nodes: the smaller of
+// the two radio ranges. Links are symmetric — 802.11-style unicast needs the
+// reverse direction for acknowledgements, so a 250 m actuator still cannot
+// hold a link to a 100 m sensor beyond 100 m.
+func (w *World) LinkRange(a, b NodeID) float64 {
+	ra, rb := w.nodes[a].Range, w.nodes[b].Range
+	if rb < ra {
+		return rb
+	}
+	return ra
+}
+
+// InRange reports whether from and to currently share a usable link.
+func (w *World) InRange(from, to NodeID) bool {
+	return w.Distance(from, to) <= w.LinkRange(from, to)
+}
+
+// SetFailed injects or clears a fault on a node.
+func (w *World) SetFailed(id NodeID, failed bool) {
+	w.nodes[id].failed = failed
+}
+
+// refreshGrid rebuilds the spatial index if positions may have moved.
+func (w *World) refreshGrid() {
+	now := w.Sched.Now()
+	if w.gridOK && w.gridAt == now {
+		return
+	}
+	cell := 50.0
+	if width := w.cfg.Region.Width(); width < 200 {
+		cell = width / 4
+	}
+	w.grid = geo.NewGrid(w.cfg.Region, cell)
+	for _, n := range w.nodes {
+		w.grid.Insert(int(n.ID), n.Mob.At(now))
+	}
+	w.gridAt = now
+	w.gridOK = true
+}
+
+// Neighbors appends to dst the IDs of all nodes sharing a usable link with
+// from (failed nodes included — radios cannot see remote faults, protocols
+// discover them through failed sends).
+func (w *World) Neighbors(dst []NodeID, from NodeID) []NodeID {
+	w.refreshGrid()
+	p := w.grid.Position(int(from))
+	idxs := w.grid.Within(nil, p, w.nodes[from].Range, int(from))
+	for _, i := range idxs {
+		if p.Dist(w.grid.Position(i)) <= w.nodes[i].Range {
+			dst = append(dst, NodeID(i))
+		}
+	}
+	return dst
+}
+
+// AliveNeighbors appends the IDs of in-range nodes that are alive.
+func (w *World) AliveNeighbors(dst []NodeID, from NodeID) []NodeID {
+	all := w.Neighbors(nil, from)
+	for _, id := range all {
+		if w.nodes[id].Alive() {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// NearestActuator returns the closest non-failed actuator to the node, or
+// NoNode if none exists.
+func (w *World) NearestActuator(from NodeID) NodeID {
+	best := NoNode
+	bestDist := 0.0
+	p := w.Position(from)
+	for _, n := range w.nodes {
+		if n.Kind != Actuator || !n.Alive() {
+			continue
+		}
+		d := p.Dist(n.Mob.At(w.Sched.Now()))
+		if best == NoNode || d < bestDist {
+			best, bestDist = n.ID, d
+		}
+	}
+	return best
+}
+
+// txDelay draws one transmission's air time (hop delay + random backoff).
+func (w *World) txDelay() time.Duration {
+	d := w.cfg.HopDelay
+	if w.cfg.HopJitter > 0 {
+		d += time.Duration(w.rng.Int63n(int64(w.cfg.HopJitter)))
+	}
+	return d
+}
+
+// acquireRadio serializes a node's transmissions and models carrier sense:
+// a busy radio queues the packet, and while the packet is on the air every
+// node within the sender's range defers its own transmissions — the shared
+// medium that makes flooding storms slow as well as expensive. It returns
+// the time the transmission completes.
+func (w *World) acquireRadio(n *Node, txTime time.Duration) time.Duration {
+	start := w.Sched.Now()
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	end := start + txTime
+	n.busyUntil = end
+	w.refreshGrid()
+	p := w.grid.Position(int(n.ID))
+	for _, i := range w.grid.Within(nil, p, n.Range, int(n.ID)) {
+		nb := w.nodes[i]
+		if nb.busyUntil < end {
+			nb.busyUntil = end
+		}
+	}
+	return end
+}
+
+// Send transmits one packet from from to to. onDone is invoked exactly once
+// with the outcome; for Delivered it runs at the reception time, for
+// failures after the ack timeout (the sender pays the detection latency).
+// Energy is charged to the given ledger: Tx on the sender for every
+// attempt, Rx on the receiver only on delivery. A nil onDone is allowed.
+func (w *World) Send(from, to NodeID, ledger energy.Ledger, onDone func(Outcome)) {
+	sender := w.nodes[from]
+	done := func(o Outcome, at time.Duration) {
+		if onDone == nil {
+			return
+		}
+		if _, err := w.Sched.At(at, func() { onDone(o) }); err != nil {
+			// Scheduling in the past cannot happen: at >= now by construction.
+			panic(fmt.Sprintf("world: send completion: %v", err))
+		}
+	}
+	if !sender.Alive() {
+		done(SenderFailed, w.Sched.Now())
+		return
+	}
+	end := w.acquireRadio(sender, w.txDelay())
+	sender.Meter.ChargeTx(ledger)
+	receiver := w.nodes[to]
+	switch {
+	case w.Distance(from, to) > w.LinkRange(from, to):
+		done(OutOfRange, end+w.cfg.AckTimeout)
+	case !receiver.Alive():
+		done(ReceiverFailed, end+w.cfg.AckTimeout)
+	default:
+		receiver.Meter.ChargeRx(ledger)
+		done(Delivered, end)
+	}
+}
+
+// Broadcast transmits one packet to every in-range alive neighbor. deliver
+// runs once per receiver at its reception time. It returns the number of
+// receivers. Failed neighbors silently miss the packet.
+func (w *World) Broadcast(from NodeID, ledger energy.Ledger, deliver func(to NodeID)) int {
+	sender := w.nodes[from]
+	if !sender.Alive() {
+		return 0
+	}
+	end := w.acquireRadio(sender, w.txDelay())
+	sender.Meter.ChargeTx(ledger)
+	targets := w.AliveNeighbors(nil, from)
+	for _, id := range targets {
+		id := id
+		w.nodes[id].Meter.ChargeRx(ledger)
+		if deliver != nil {
+			if _, err := w.Sched.At(end, func() { deliver(id) }); err != nil {
+				panic(fmt.Sprintf("world: broadcast delivery: %v", err))
+			}
+		}
+	}
+	return len(targets)
+}
+
+// FloodVisit is called once per node reached by a flood, with the hop count
+// and the reverse path (origin first, visited node last). Returning false
+// stops the flood from rebroadcasting at that node.
+type FloodVisit func(at NodeID, hops int, path []NodeID) bool
+
+// Flood performs a TTL-bounded broadcast flood from origin — the route
+// discovery / repair primitive of the baseline systems ("topological
+// routing"). Every reached node receives the packet once (dedup by flood
+// sequence) and rebroadcasts until the TTL is exhausted or visit returns
+// false. onDone, if non-nil, runs when the flood has quiesced.
+//
+// The energy bill is what makes flooding expensive: one Tx per rebroadcast
+// and one Rx per copy received — including duplicate copies, which real
+// radios cannot avoid hearing.
+func (w *World) Flood(origin NodeID, ttl int, ledger energy.Ledger, visit FloodVisit, onDone func()) {
+	seen := make(map[NodeID]bool, 64)
+	outstanding := 0
+	finish := func() {
+		if onDone != nil {
+			onDone()
+		}
+	}
+	var rebroadcast func(at NodeID, hops int, path []NodeID)
+	rebroadcast = func(at NodeID, hops int, path []NodeID) {
+		node := w.nodes[at]
+		if !node.Alive() {
+			return
+		}
+		end := w.acquireRadio(node, w.txDelay())
+		node.Meter.ChargeTx(ledger)
+		for _, nb := range w.AliveNeighbors(nil, at) {
+			nb := nb
+			w.nodes[nb].Meter.ChargeRx(ledger) // every copy is heard
+			if seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			nbPath := make([]NodeID, len(path)+1)
+			copy(nbPath, path)
+			nbPath[len(path)] = nb
+			outstanding++
+			if _, err := w.Sched.At(end, func() {
+				outstanding--
+				cont := true
+				if visit != nil {
+					cont = visit(nb, hops+1, nbPath)
+				}
+				if cont && hops+1 < ttl && w.nodes[nb].Alive() {
+					rebroadcast(nb, hops+1, nbPath)
+				}
+				if outstanding == 0 {
+					finish()
+				}
+			}); err != nil {
+				panic(fmt.Sprintf("world: flood delivery: %v", err))
+			}
+		}
+	}
+	seen[origin] = true
+	rebroadcast(origin, 0, []NodeID{origin})
+	if outstanding == 0 {
+		// Nobody in range: quiesce immediately (next tick).
+		if _, err := w.Sched.After(0, finish); err != nil {
+			panic(fmt.Sprintf("world: flood quiesce: %v", err))
+		}
+	}
+}
+
+// TotalEnergy sums the given ledger across all nodes.
+func (w *World) TotalEnergy(l energy.Ledger) float64 {
+	sum := 0.0
+	for _, n := range w.nodes {
+		sum += n.Meter.SpentOn(l)
+	}
+	return sum
+}

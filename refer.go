@@ -1,0 +1,178 @@
+// Package refer is a Go implementation of REFER — the Kautz-based
+// REal-time, Fault-tolerant and EneRgy-efficient Wireless Sensor and
+// Actuator Network of Li & Shen (ICDCS 2012) — together with the three
+// systems the paper evaluates it against (DaTree, D-DEAR and an
+// application-layer Kautz overlay), a discrete-event WSAN simulator to run
+// them on, and the full evaluation harness that regenerates the paper's
+// Figures 4–11.
+//
+// The package is a facade: the implementation lives under internal/ and the
+// most useful types are re-exported here.
+//
+//	Kautz graph theory     — ID, Graph, Routes (Theorem 3.8), GreedyNext
+//	WSAN simulation        — World, ScenarioParams, BuildWorld
+//	Systems under test     — System, NewSystem, NewREFER, NewDaTree, …
+//	Evaluation             — RunConfig, Run, Options, Fig4 … Fig11
+//
+// Quick start:
+//
+//	w := refer.BuildWorld(refer.ScenarioParams{Seed: 1, Sensors: 200})
+//	sys := refer.NewREFER(w)
+//	if err := sys.Build(); err != nil { … }
+//	sys.Inject(srcID, func(ok bool) { … })
+//	w.Sched.RunUntil(10 * time.Second)
+package refer
+
+import (
+	"refer/internal/core"
+	"refer/internal/datree"
+	"refer/internal/ddear"
+	"refer/internal/experiment"
+	"refer/internal/kautz"
+	"refer/internal/kautzoverlay"
+	"refer/internal/scenario"
+	"refer/internal/world"
+)
+
+// ---- Kautz graph theory (Section III of the paper) ----
+
+// ID is a Kautz node identifier (digits over {0..d}, no adjacent repeats).
+type ID = kautz.ID
+
+// Graph is a fully enumerated Kautz digraph K(d, k).
+type Graph = kautz.Graph
+
+// Route is one of the d disjoint U→V paths of Theorem 3.8.
+type Route = kautz.Route
+
+// PathClass classifies a Theorem 3.8 route.
+type PathClass = kautz.PathClass
+
+// Path classes of Theorem 3.8.
+const (
+	ClassShortest = kautz.ClassShortest
+	ClassConflict = kautz.ClassConflict
+	ClassViaV1    = kautz.ClassViaV1
+	ClassDetour   = kautz.ClassDetour
+)
+
+// NewGraph enumerates K(d, k).
+func NewGraph(d, k int) (*Graph, error) { return kautz.New(d, k) }
+
+// ParseID validates a Kautz identifier.
+func ParseID(s string) (ID, error) { return kautz.ParseID(s) }
+
+// Routes computes the d disjoint U→V routes of Theorem 3.8 from the IDs
+// alone, sorted by path length — REFER's fault-tolerant routing table.
+func Routes(d int, u, v ID) ([]Route, error) { return kautz.Routes(d, u, v) }
+
+// GreedyNext returns the next hop of the greedy shortest protocol.
+func GreedyNext(u, v ID) (ID, error) { return kautz.GreedyNext(u, v) }
+
+// KautzDistance returns the shortest-path distance k − L(U, V).
+func KautzDistance(u, v ID) int { return kautz.Distance(u, v) }
+
+// ---- WSAN simulation substrate ----
+
+// World is the discrete-event WSAN: nodes, radios, mobility, failures.
+type World = world.World
+
+// NodeID identifies a node in a World.
+type NodeID = world.NodeID
+
+// Node kinds.
+const (
+	Sensor   = world.Sensor
+	Actuator = world.Actuator
+)
+
+// ScenarioParams configures the paper's deployment (Section IV): five
+// actuators forming four Kautz cells on a 500 m field, N mobile sensors.
+type ScenarioParams = scenario.Params
+
+// BuildWorld constructs the evaluation deployment.
+func BuildWorld(p ScenarioParams) *World { return scenario.Build(p) }
+
+// SensorIDs lists the sensors of a world built by BuildWorld.
+func SensorIDs(w *World) []NodeID { return scenario.SensorIDs(w) }
+
+// ---- The four systems under test ----
+
+// System is the contract shared by REFER and the three baselines.
+type System = experiment.System
+
+// Evaluated system names.
+const (
+	SystemREFER        = experiment.SystemREFER
+	SystemDaTree       = experiment.SystemDaTree
+	SystemDDEAR        = experiment.SystemDDEAR
+	SystemKautzOverlay = experiment.SystemKautzOverlay
+)
+
+// AllSystems lists the four evaluated systems.
+func AllSystems() []string { return experiment.AllSystems() }
+
+// NewSystem constructs a named system on w (see the System* constants).
+func NewSystem(name string, w *World) (System, error) {
+	return experiment.NewSystem(name, w)
+}
+
+// REFER is the paper's system, exposing cell and addressing introspection
+// beyond the System interface.
+type REFER = core.System
+
+// Address is a REFER (CID, KID) node address.
+type Address = core.Address
+
+// NewREFER constructs an unbuilt REFER system with the paper's defaults.
+func NewREFER(w *World) *REFER { return core.New(w, core.DefaultConfig()) }
+
+// NewREFERWithConfig constructs REFER with an explicit configuration.
+func NewREFERWithConfig(w *World, cfg core.Config) *REFER { return core.New(w, cfg) }
+
+// REFERConfig parameterizes a REFER deployment.
+type REFERConfig = core.Config
+
+// NewDaTree constructs the tree-based baseline.
+func NewDaTree(w *World) *datree.System { return datree.New(w, datree.DefaultConfig()) }
+
+// NewDDEAR constructs the mesh/cluster baseline.
+func NewDDEAR(w *World) *ddear.System { return ddear.New(w, ddear.DefaultConfig()) }
+
+// NewKautzOverlay constructs the application-layer Kautz overlay baseline.
+func NewKautzOverlay(w *World) *kautzoverlay.System {
+	return kautzoverlay.New(w, kautzoverlay.DefaultConfig())
+}
+
+// ---- Evaluation harness (Section IV) ----
+
+// RunConfig describes one simulation run (system, scenario, traffic,
+// faults, QoS deadline).
+type RunConfig = experiment.RunConfig
+
+// Result holds one run's measurements.
+type Result = experiment.Result
+
+// Run executes one simulation.
+func Run(cfg RunConfig) (Result, error) { return experiment.Run(cfg) }
+
+// Options scales the figure sweeps (seeds, duration, systems).
+type Options = experiment.Options
+
+// Figure is a reproduced evaluation figure.
+type Figure = experiment.Figure
+
+// Figure generators for the paper's evaluation.
+var (
+	Fig4  = experiment.Fig4
+	Fig5  = experiment.Fig5
+	Fig6  = experiment.Fig6
+	Fig7  = experiment.Fig7
+	Fig8  = experiment.Fig8
+	Fig9  = experiment.Fig9
+	Fig10 = experiment.Fig10
+	Fig11 = experiment.Fig11
+)
+
+// AllFigures regenerates every evaluation figure.
+func AllFigures(o Options) ([]Figure, error) { return experiment.AllFigures(o) }
