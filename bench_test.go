@@ -136,6 +136,87 @@ func BenchmarkKautzRoutesK44(b *testing.B) {
 	}
 }
 
+// BenchmarkRoutesDirect measures the Theorem 3.8 route-set computation the
+// forwarding hot path used before the precomputed table: script building,
+// window walks and the length sort, on every call.
+func BenchmarkRoutesDirect(b *testing.B) {
+	g, err := kautz.New(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := g.Nodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := nodes[i%len(nodes)]
+		v := nodes[(i+5)%len(nodes)]
+		if u == v {
+			v = nodes[(i+6)%len(nodes)]
+		}
+		if _, err := kautz.Routes(2, u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutesTable measures the same lookups served by the shared
+// precomputed RouteTable (copy-on-read slice header copy per call).
+func BenchmarkRoutesTable(b *testing.B) {
+	table, err := kautz.TableFor(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := kautz.New(2, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := g.Nodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := nodes[i%len(nodes)]
+		v := nodes[(i+5)%len(nodes)]
+		if u == v {
+			v = nodes[(i+6)%len(nodes)]
+		}
+		if _, ok := table.Routes(u, v); !ok {
+			b.Fatalf("table miss for %s -> %s", u, v)
+		}
+	}
+}
+
+// ---- End-to-end route-table delta (Fig. 4 under both route sources) ----
+
+// benchFig4RouteSource regenerates Figure 4 restricted to one REFER variant,
+// so `go test -bench 'Fig4Route'` reports the end-to-end saving of the
+// precomputed route table against recomputing routes on every decision.
+func benchFig4RouteSource(b *testing.B, system string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := quickOpts()
+		opts.Systems = []string{system}
+		fig, err := Fig4(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig4RouteTable runs the Figure 4 sweep with the precomputed
+// route table (the default REFER configuration).
+func BenchmarkFig4RouteTable(b *testing.B) {
+	benchFig4RouteSource(b, SystemREFER)
+}
+
+// BenchmarkFig4RouteDirect runs the same sweep recomputing every route set
+// from the IDs (the REFER/direct-routes ablation).
+func BenchmarkFig4RouteDirect(b *testing.B) {
+	benchFig4RouteSource(b, experiment.SystemREFERDirectRoutes)
+}
+
 // BenchmarkGreedyNext measures one greedy shortest-protocol hop decision.
 func BenchmarkGreedyNext(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -18,6 +18,7 @@ import (
 
 	"refer"
 	"refer/internal/experiment"
+	"refer/internal/kautz"
 )
 
 type figList []string
@@ -94,6 +95,14 @@ func main() {
 				fmt.Fprintln(os.Stderr, "refer-bench:", err)
 				os.Exit(1)
 			}
+		}
+	}
+	// Route-table effectiveness: every forwarding decision either hit the
+	// shared precomputed Theorem 3.8 table or recomputed routes directly.
+	if counters := kautz.AllTableCounters(); len(counters) > 0 {
+		fmt.Println("route-table cache:")
+		for _, c := range counters {
+			fmt.Println("  " + c.String())
 		}
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))

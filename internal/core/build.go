@@ -32,6 +32,16 @@ func (s *System) Build() error {
 		return fmt.Errorf("core: %w", err)
 	}
 	s.graph = g
+	// Share the process-wide precomputed route table for the cell graph; a
+	// K(d,3) cell is small enough that every (u, v) route set is tabulated
+	// once per process instead of on every forwarding decision.
+	if !s.cfg.DisableRouteTable {
+		table, err := kautz.TableFor(s.cfg.Degree, s.cfg.Diameter)
+		if err != nil {
+			return fmt.Errorf("core: route table: %w", err)
+		}
+		s.routes = table
+	}
 
 	for _, n := range s.w.Nodes() {
 		if n.Kind == world.Actuator {

@@ -587,3 +587,124 @@ func TestGeneralEmbeddingSparseFails(t *testing.T) {
 		t.Fatal("K(3,3) on 100 sensors should fail to embed")
 	}
 }
+
+// failoverCell hand-builds a one-relay routing scenario: the source holds
+// KID 021, its two Kautz successors 210/212 sit physically out of range (so
+// a transmission to them fails over the radio unless they are failed
+// locally first), and corner 120 is the destination. It returns the system,
+// the source node and the successor holders keyed by KID.
+func failoverCell(t *testing.T) (*world.World, *System, *Cell, world.NodeID, map[kautz.ID]world.NodeID) {
+	t.Helper()
+	w := world.New(world.Config{Region: geo.Square(500), Seed: 1})
+	src := w.AddNode(world.Sensor, mobility.Static{P: geo.Point{X: 100, Y: 100}}, 100, 0)
+	n210 := w.AddNode(world.Sensor, mobility.Static{P: geo.Point{X: 480, Y: 480}}, 100, 0)
+	n212 := w.AddNode(world.Sensor, mobility.Static{P: geo.Point{X: 420, Y: 480}}, 100, 0)
+	dst := w.AddNode(world.Actuator, mobility.Static{P: geo.Point{X: 100, Y: 480}}, 250, 0)
+	s := New(w, DefaultConfig())
+	g, err := kautz.New(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.graph = g
+	c := &Cell{
+		NodeByKID: map[kautz.ID]world.NodeID{
+			"021": src.ID, "210": n210.ID, "212": n212.ID, "120": dst.ID,
+		},
+		kidOfNode: map[world.NodeID]kautz.ID{
+			src.ID: "021", n210.ID: "210", n212.ID: "212", dst.ID: "120",
+		},
+		members: map[world.NodeID]bool{},
+	}
+	succs := map[kautz.ID]world.NodeID{"210": n210.ID, "212": n212.ID}
+	return w, s, c, src.ID, succs
+}
+
+// TestFailoverSwitchInvariant checks the FailoverSwitches accounting
+// invariant: every switch to an alternate disjoint path is counted exactly
+// once — whether the abandoned successor was known dead locally or failed
+// during transmission — and abandoning the last path (a drop, not a switch)
+// is never counted. Routes from 021 to 120 rank 212 first (the greedy
+// shortest path), then 210, so each sub-case pins down one failure mode per
+// rank position.
+func TestFailoverSwitchInvariant(t *testing.T) {
+	cases := []struct {
+		name string
+		fail []kautz.ID // successors to fail locally before routing
+	}{
+		// Both transmissions fail over the radio: one switch (to the second
+		// path), then the last path is abandoned without a count.
+		{name: "both-transmission-failures", fail: nil},
+		// First-ranked successor dead locally (free switch), second fails
+		// during transmission with no alternate left.
+		{name: "first-locally-dead", fail: []kautz.ID{"212"}},
+		// First fails during transmission (one switch), second dead locally
+		// with no alternate left.
+		{name: "second-locally-dead", fail: []kautz.ID{"210"}},
+		// Both dead locally: the single switch is the local one.
+		{name: "both-locally-dead", fail: []kautz.ID{"210", "212"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, s, c, src, succs := failoverCell(t)
+			for _, kid := range tc.fail {
+				w.SetFailed(succs[kid], true)
+			}
+			var got *bool
+			s.routeIntraCell(c, src, "120", s.cfg.HopBudget, func(ok bool) { got = &ok })
+			w.Sched.Run()
+			if got == nil {
+				t.Fatal("done callback never fired")
+			}
+			if *got {
+				t.Fatal("delivery impossible in this scenario")
+			}
+			if n := s.Stats().FailoverSwitches; n != 1 {
+				t.Fatalf("FailoverSwitches = %d, want exactly 1 (one switch to the alternate path)", n)
+			}
+		})
+	}
+}
+
+// TestFailoverDisabledCountsNoSwitches checks the ablated router records no
+// failover switches at all.
+func TestFailoverDisabledCountsNoSwitches(t *testing.T) {
+	w, s, c, src, succs := failoverCell(t)
+	s.cfg.DisableFailover = true
+	w.SetFailed(succs["212"], true)
+	var got *bool
+	s.routeIntraCell(c, src, "120", s.cfg.HopBudget, func(ok bool) { got = &ok })
+	w.Sched.Run()
+	if got == nil || *got {
+		t.Fatal("expected a drop")
+	}
+	if n := s.Stats().FailoverSwitches; n != 0 {
+		t.Fatalf("FailoverSwitches = %d with failover disabled, want 0", n)
+	}
+}
+
+// TestEntryPointTieBreak checks the deterministic tie-break: two overlay
+// members equidistant from a plain sensor must resolve to the smaller node
+// ID, not to map iteration order.
+func TestEntryPointTieBreak(t *testing.T) {
+	_, s := buildSystem(t, 21, 200, 0)
+	sensors := 0
+	for _, n := range s.w.Nodes() {
+		if n.Kind == world.Sensor {
+			sensors++
+		}
+	}
+	// entryPoint must be a pure function of world state: repeated calls
+	// (each re-iterating the cell maps) agree for every source.
+	for _, n := range s.w.Nodes() {
+		first, firstCell := s.entryPoint(n.ID)
+		for i := 0; i < 10; i++ {
+			again, againCell := s.entryPoint(n.ID)
+			if again != first || againCell != firstCell {
+				t.Fatalf("entryPoint(%d) unstable: %d vs %d", n.ID, first, again)
+			}
+		}
+	}
+	if sensors == 0 {
+		t.Fatal("no sensors in scenario")
+	}
+}

@@ -55,6 +55,11 @@ type Config struct {
 	// (Section III-B-4). Ablation knob: under mobility the embedding then
 	// decays and routing must work around dead or displaced overlay nodes.
 	DisableMaintenance bool
+	// DisableRouteTable turns off the process-wide precomputed Theorem 3.8
+	// route table and recomputes every route set from the IDs on each
+	// forwarding decision. Benchmark/ablation knob for quantifying the
+	// table's saving; routing behavior is identical either way.
+	DisableRouteTable bool
 }
 
 // DefaultConfig returns the paper's cell configuration.
@@ -82,6 +87,7 @@ type System struct {
 	cfg Config
 
 	graph     *kautz.Graph
+	routes    *kautz.RouteTable // shared precomputed Theorem 3.8 routes; nil = compute directly
 	cells     []*Cell
 	cellByCID map[int]*Cell
 	dht       *dhtTier
@@ -108,6 +114,11 @@ type Stats struct {
 	Drops int
 	// InterCell counts packets that crossed cells via the DHT tier.
 	InterCell int
+	// RouteCacheHits and RouteCacheMisses count forwarding decisions whose
+	// Theorem 3.8 route set was served from the precomputed route table vs
+	// computed directly from the IDs.
+	RouteCacheHits   int
+	RouteCacheMisses int
 }
 
 // New creates an unbuilt REFER system on w.

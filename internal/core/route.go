@@ -95,7 +95,7 @@ func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, bu
 		return
 	}
 	atKID := c.kidOfNode[at]
-	routes, err := kautz.Routes(s.cfg.Degree, atKID, corners[ci])
+	routes, err := s.routesFor(atKID, corners[ci])
 	if err != nil {
 		s.tryCorners(c, at, corners, ci+1, budget, done)
 		return
@@ -117,9 +117,7 @@ func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, bu
 		}
 		next, ok := c.NodeByKID[routes[idx].Successor]
 		if !ok || !s.w.Node(next).Alive() {
-			if idx == 0 {
-				s.stats.FailoverSwitches++
-			}
+			s.countFailoverSwitch(routes, idx)
 			try(idx + 1)
 			return
 		}
@@ -128,11 +126,37 @@ func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, bu
 				s.routeToCorners(c, next, budget-1, done)
 				return
 			}
-			s.stats.FailoverSwitches++
+			s.countFailoverSwitch(routes, idx)
 			try(idx + 1)
 		})
 	}
 	try(0)
+}
+
+// routesFor returns the Theorem 3.8 route set for the ordered pair, served
+// from the shared precomputed table (copy-on-read, so callers may permute
+// the slice) with a fallback to the direct computation when the table is
+// disabled or does not cover the pair.
+func (s *System) routesFor(u, v kautz.ID) ([]kautz.Route, error) {
+	if s.routes != nil {
+		if routes, ok := s.routes.Routes(u, v); ok {
+			s.stats.RouteCacheHits++
+			return routes, nil
+		}
+	}
+	s.stats.RouteCacheMisses++
+	return kautz.Routes(s.cfg.Degree, u, v)
+}
+
+// countFailoverSwitch records one Theorem 3.8 failover decision: the relay
+// abandons routes[idx] and moves to routes[idx+1]. A switch is counted
+// exactly once per abandoned path — whether the failure was known locally
+// (successor dead or unassigned) or discovered by a failed transmission —
+// and only when an alternate disjoint path actually remains to switch to.
+func (s *System) countFailoverSwitch(routes []kautz.Route, idx int) {
+	if !s.cfg.DisableFailover && idx+1 < len(routes) {
+		s.stats.FailoverSwitches++
+	}
 }
 
 // SendTo routes a packet from src to an arbitrary REFER address, using the
@@ -218,6 +242,9 @@ func (s *System) entryPoint(src world.NodeID) (world.NodeID, *Cell) {
 		}
 	}
 	// Plain sensor: attach to the nearest alive overlay member in range.
+	// The candidate scan ranges over the NodeByKID maps, so ties on distance
+	// must break on the smaller node ID — a strict < would let Go's
+	// randomized map order pick the winner and break seeded replay.
 	best := world.NoNode
 	var bestCell *Cell
 	bestDist := 0.0
@@ -232,7 +259,7 @@ func (s *System) entryPoint(src world.NodeID) (world.NodeID, *Cell) {
 			if d > r {
 				continue
 			}
-			if best == world.NoNode || d < bestDist {
+			if best == world.NoNode || d < bestDist || (d == bestDist && id < best) {
 				best, bestCell, bestDist = id, c, d
 			}
 		}
@@ -287,7 +314,7 @@ func (s *System) routeIntraCell(c *Cell, at world.NodeID, dstKID kautz.ID, budge
 		done(false)
 		return
 	}
-	routes, err := kautz.Routes(s.cfg.Degree, atKID, dstKID)
+	routes, err := s.routesFor(atKID, dstKID)
 	if err != nil {
 		done(false)
 		return
@@ -326,9 +353,7 @@ func (s *System) tryRoutes(c *Cell, at world.NodeID, dstKID kautz.ID, routes []k
 	if !ok || !s.w.Node(next).Alive() {
 		// Locally known failure (maintenance removed the node): switch to
 		// the next disjoint path immediately, no radio cost.
-		if idx == 0 {
-			s.stats.FailoverSwitches++
-		}
+		s.countFailoverSwitch(routes, idx)
 		s.tryRoutes(c, at, dstKID, routes, idx+1, budget, done)
 		return
 	}
@@ -337,7 +362,7 @@ func (s *System) tryRoutes(c *Cell, at world.NodeID, dstKID kautz.ID, routes []k
 			s.routeIntraCell(c, next, dstKID, budget-1, done)
 			return
 		}
-		s.stats.FailoverSwitches++
+		s.countFailoverSwitch(routes, idx)
 		s.tryRoutes(c, at, dstKID, routes, idx+1, budget, done)
 	})
 }
@@ -373,7 +398,8 @@ func (s *System) sendOverlayLink(c *Cell, from, to world.NodeID, done func(deliv
 }
 
 // bestRelay picks an alive cell node in range of both endpoints, minimizing
-// the two-hop distance.
+// the two-hop distance. Candidates come from map iteration, so equal
+// distances break on the smaller node ID to keep seeded replay exact.
 func (s *System) bestRelay(c *Cell, from, to world.NodeID) world.NodeID {
 	pf, pt := s.w.Position(from), s.w.Position(to)
 	best := world.NoNode
@@ -387,7 +413,7 @@ func (s *System) bestRelay(c *Cell, from, to world.NodeID) world.NodeID {
 			return
 		}
 		d := p.Dist(pf) + p.Dist(pt)
-		if best == world.NoNode || d < bestDist {
+		if best == world.NoNode || d < bestDist || (d == bestDist && id < best) {
 			best, bestDist = id, d
 		}
 	}

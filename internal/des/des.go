@@ -23,10 +23,14 @@ type event struct {
 
 // Handle lets a scheduled event be cancelled before it fires.
 type Handle struct {
+	s  *Scheduler
 	ev *event
 }
 
-// Cancel prevents the event from running. Cancelling an already-fired or
+// Cancel prevents the event from running and removes it from the queue
+// immediately (O(log n) via the heap index), so Pending() stays accurate
+// and long runs with many cancelled maintenance timers do not retain dead
+// events until their timestamps drain. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel reports whether the event was
 // still pending.
 func (h Handle) Cancel() bool {
@@ -35,6 +39,9 @@ func (h Handle) Cancel() bool {
 	}
 	h.ev.dead = true
 	h.ev.fn = nil
+	if h.s != nil && h.ev.idx >= 0 {
+		heap.Remove(&h.s.queue, h.ev.idx)
+	}
 	return true
 }
 
@@ -55,8 +62,8 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet discarded).
+// Pending returns the number of events still queued. Cancelled events are
+// removed from the queue eagerly, so they never inflate the count.
 func (s *Scheduler) Pending() int { return s.queue.Len() }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
@@ -71,7 +78,7 @@ func (s *Scheduler) At(at time.Duration, fn func()) (Handle, error) {
 	ev := &event{at: at, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return Handle{ev: ev}, nil
+	return Handle{s: s, ev: ev}, nil
 }
 
 // After schedules fn to run delay after the current time. Negative delays
@@ -173,6 +180,7 @@ func (q *eventQueue) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.idx = -1 // no longer in the heap; guards double-removal in Cancel
 	*q = old[:n-1]
 	return ev
 }

@@ -259,3 +259,116 @@ func TestManyEventsStress(t *testing.T) {
 		t.Fatalf("fired = %d, want %d", fired, n)
 	}
 }
+
+// TestCancelRemovesFromQueue checks that Cancel removes the event from the
+// heap immediately: Pending() drops right away instead of retaining dead
+// events until their timestamps drain.
+func TestCancelRemovesFromQueue(t *testing.T) {
+	var s Scheduler
+	handles := make([]Handle, 0, 100)
+	for i := 0; i < 100; i++ {
+		h, err := s.At(time.Duration(i+1)*time.Second, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending = %d, want 100", s.Pending())
+	}
+	// Cancel a mix of head, middle and tail events.
+	for _, i := range []int{0, 1, 13, 50, 98, 99} {
+		if !handles[i].Cancel() {
+			t.Fatalf("Cancel(%d) reported not pending", i)
+		}
+	}
+	if s.Pending() != 94 {
+		t.Fatalf("Pending after cancels = %d, want 94", s.Pending())
+	}
+	// Double cancel stays a no-op and does not disturb the queue.
+	if handles[50].Cancel() {
+		t.Fatal("second Cancel should report not pending")
+	}
+	if s.Pending() != 94 {
+		t.Fatalf("Pending after double cancel = %d, want 94", s.Pending())
+	}
+	s.Run()
+	if s.Fired() != 94 {
+		t.Fatalf("Fired = %d, want 94", s.Fired())
+	}
+	if s.Now() != 98*time.Second {
+		t.Fatalf("Now = %v, want 98s (last live event)", s.Now())
+	}
+}
+
+// TestCancelPreservesOrdering cancels interleaved events and checks the
+// survivors still fire in (timestamp, seq) order.
+func TestCancelPreservesOrdering(t *testing.T) {
+	var s Scheduler
+	rng := rand.New(rand.NewSource(42))
+	type rec struct {
+		at  time.Duration
+		seq int
+	}
+	var fired []rec
+	var handles []Handle
+	var want []rec
+	for i := 0; i < 500; i++ {
+		i := i
+		at := time.Duration(rng.Intn(50)) * time.Second
+		h, err := s.At(at, func() { fired = append(fired, rec{at: at, seq: i}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		want = append(want, rec{at: at, seq: i})
+	}
+	cancelled := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		idx := rng.Intn(len(handles))
+		if !cancelled[idx] {
+			cancelled[idx] = true
+			handles[idx].Cancel()
+		}
+	}
+	kept := want[:0]
+	for _, r := range want {
+		if !cancelled[r.seq] {
+			kept = append(kept, r)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].at < kept[j].at })
+	s.Run()
+	if len(fired) != len(kept) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(kept))
+	}
+	for i := range kept {
+		if fired[i] != kept[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, fired[i], kept[i])
+		}
+	}
+}
+
+// TestCancelDuringRun cancels a pending event from inside an earlier event.
+func TestCancelDuringRun(t *testing.T) {
+	var s Scheduler
+	ran := false
+	victim, err := s.At(2*time.Second, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(time.Second, func() {
+		if !victim.Cancel() {
+			t.Error("victim should still be pending")
+		}
+		if s.Pending() != 0 {
+			t.Errorf("Pending inside event = %d, want 0", s.Pending())
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}

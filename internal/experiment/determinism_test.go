@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"refer/internal/scenario"
+)
+
+// replayConfig is a figure-scale run: fast mobility, fault rotation and
+// enough traffic that any hidden source of nondeterminism (map iteration
+// order feeding an argmax or ordering lazy draws from a shared RNG,
+// shared-state mutation by a cached route slice) has many chances to
+// surface. The speed/duration match the sweep point where a shared
+// waypoint RNG made the Kautz overlay's results flip between two outcomes
+// depending on map iteration order; gentler configs masked it.
+func replayConfig(system string) RunConfig {
+	return RunConfig{
+		System: system,
+		Scenario: scenario.Params{
+			Seed:     7,
+			Sensors:  150,
+			MaxSpeed: 2.5,
+		},
+		Warmup:     100 * time.Second,
+		Duration:   300 * time.Second,
+		FaultCount: 4,
+	}
+}
+
+// testReplay runs the same seeded configuration twice and requires bitwise
+// identical results. Result is a comparable struct, so != compares every
+// counter, energy ledger and latency moment at once.
+func testReplay(t *testing.T, system string) {
+	t.Helper()
+	cfg := replayConfig(system)
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if r1 != r2 {
+		t.Fatalf("replay diverged for %s:\n first = %+v\nsecond = %+v", system, r1, r2)
+	}
+	if r1.Created == 0 {
+		t.Fatalf("degenerate run for %s: no packets created", system)
+	}
+}
+
+// TestReplayDeterminismREFER pins the determinism guarantee: a RunConfig
+// fully determines the Result. Run under -race -count=2 in CI so both the
+// in-process route-table sharing and cross-process stability are exercised.
+func TestReplayDeterminismREFER(t *testing.T) {
+	testReplay(t, SystemREFER)
+}
+
+// TestReplayDeterminismKautzOverlay covers the baseline that shares the
+// route table and the nearestMember selection fixed for map-order
+// nondeterminism.
+func TestReplayDeterminismKautzOverlay(t *testing.T) {
+	testReplay(t, SystemKautzOverlay)
+}
+
+// TestReplayTableMatchesDirect checks the route table is a pure cache:
+// the same seeded run with and without the table yields identical results
+// apart from the System label and the cache counters (which are not part
+// of Result).
+func TestReplayTableMatchesDirect(t *testing.T) {
+	cached, err := Run(replayConfig(SystemREFER))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(replayConfig(SystemREFERDirectRoutes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.System = cached.System
+	if cached != direct {
+		t.Fatalf("route table changed routing behavior:\ncached = %+v\ndirect = %+v", cached, direct)
+	}
+}

@@ -42,6 +42,11 @@ const (
 	// Ablated REFER variants (see the ablation study in EXPERIMENTS.md).
 	SystemREFERNoFailover    = "REFER/no-failover"
 	SystemREFERNoMaintenance = "REFER/no-maintenance"
+	// SystemREFERDirectRoutes recomputes every Theorem 3.8 route set from
+	// the IDs instead of serving it from the shared precomputed route
+	// table. Routing behavior is identical to SystemREFER; benchmark knob
+	// for quantifying the table's end-to-end saving.
+	SystemREFERDirectRoutes = "REFER/direct-routes"
 
 	// SystemREFERK33 uses K(3,3) cells (d = 3: three disjoint paths per
 	// pair) via the generalized embedding — the paper's future work.
@@ -66,6 +71,10 @@ func NewSystem(name string, w *world.World) (System, error) {
 	case SystemREFERNoMaintenance:
 		cfg := core.DefaultConfig()
 		cfg.DisableMaintenance = true
+		return core.New(w, cfg), nil
+	case SystemREFERDirectRoutes:
+		cfg := core.DefaultConfig()
+		cfg.DisableRouteTable = true
 		return core.New(w, cfg), nil
 	case SystemREFERK33:
 		cfg := core.DefaultConfig()

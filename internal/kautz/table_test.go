@@ -1,0 +1,179 @@
+package kautz
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestTableEquivalence checks that the precomputed table returns exactly
+// what the direct Theorem 3.8 computation returns for every ordered node
+// pair of K(2,3) and K(3,3).
+func TestTableEquivalence(t *testing.T) {
+	for _, cfg := range []struct{ d, k int }{{2, 3}, {3, 3}} {
+		table, err := TableFor(cfg.d, cfg.k)
+		if err != nil {
+			t.Fatalf("TableFor(%d,%d): %v", cfg.d, cfg.k, err)
+		}
+		g, err := New(cfg.d, cfg.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := g.Nodes()
+		wantPairs := len(nodes) * (len(nodes) - 1)
+		if table.Size() != wantPairs {
+			t.Fatalf("K(%d,%d) table size = %d, want %d", cfg.d, cfg.k, table.Size(), wantPairs)
+		}
+		for _, u := range nodes {
+			for _, v := range nodes {
+				if u == v {
+					continue
+				}
+				direct, err := Routes(cfg.d, u, v)
+				if err != nil {
+					t.Fatalf("Routes(%d, %s, %s): %v", cfg.d, u, v, err)
+				}
+				cached, ok := table.Routes(u, v)
+				if !ok {
+					t.Fatalf("K(%d,%d) table misses pair %s→%s", cfg.d, cfg.k, u, v)
+				}
+				if !reflect.DeepEqual(direct, cached) {
+					t.Fatalf("K(%d,%d) %s→%s: table %v != direct %v", cfg.d, cfg.k, u, v, cached, direct)
+				}
+			}
+		}
+	}
+}
+
+// TestTableCopyOnRead checks that permuting a returned route slice (what
+// shuffleEqualLength does on every relay decision) does not corrupt the
+// shared cache.
+func TestTableCopyOnRead(t *testing.T) {
+	table, err := TableFor(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, v := ID("021"), ID("201")
+	first, ok := table.Routes(u, v)
+	if !ok {
+		t.Fatalf("pair %s→%s not in table", u, v)
+	}
+	want := append([]Route(nil), first...)
+	// Reverse the caller's copy in place.
+	for i, j := 0, len(first)-1; i < j; i, j = i+1, j-1 {
+		first[i], first[j] = first[j], first[i]
+	}
+	second, ok := table.Routes(u, v)
+	if !ok {
+		t.Fatalf("pair %s→%s vanished", u, v)
+	}
+	if !reflect.DeepEqual(second, want) {
+		t.Fatalf("cache corrupted by caller permutation: %v != %v", second, want)
+	}
+}
+
+// TestTableSharedPerDegree checks the process-wide sharing contract: two
+// TableFor calls for the same K(d,k) return the same table.
+func TestTableSharedPerDegree(t *testing.T) {
+	a, err := TableFor(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TableFor(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("TableFor(2,3) returned two distinct tables")
+	}
+}
+
+// TestTableCounters checks hit/miss accounting and the snapshot API.
+func TestTableCounters(t *testing.T) {
+	table, err := TableFor(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := table.Counters()
+	if _, ok := table.Routes("012", "120"); !ok {
+		t.Fatal("expected hit")
+	}
+	if _, ok := table.Routes("012", "012"); ok {
+		t.Fatal("u == v should miss")
+	}
+	if _, ok := table.Routes("0123", "1230"); ok {
+		t.Fatal("foreign IDs should miss")
+	}
+	after := table.Counters()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("hits = %d, want %d", after.Hits, before.Hits+1)
+	}
+	if after.Misses != before.Misses+2 {
+		t.Fatalf("misses = %d, want %d", after.Misses, before.Misses+2)
+	}
+	if after.Pairs != 132 {
+		t.Fatalf("K(2,3) pairs = %d, want 132", after.Pairs)
+	}
+	found := false
+	for _, c := range AllTableCounters() {
+		if c.Degree == 2 && c.Diameter == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("AllTableCounters does not list the built K(2,3) table")
+	}
+}
+
+// TestTableInvalid checks the rejection paths: bad parameters and graphs
+// above the precompute bound.
+func TestTableInvalid(t *testing.T) {
+	if _, err := TableFor(0, 3); err == nil {
+		t.Fatal("degree 0 should fail")
+	}
+	if _, err := TableFor(2, 0); err == nil {
+		t.Fatal("diameter 0 should fail")
+	}
+	if _, err := TableFor(4, 4); err == nil {
+		t.Fatal("K(4,4) (102,080 pairs) should be above the precompute bound")
+	}
+}
+
+// TestTableConcurrentAccess hammers one shared table from many goroutines;
+// the race detector (CI runs go test -race) verifies the concurrency
+// contract.
+func TestTableConcurrentAccess(t *testing.T) {
+	g, err := New(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.Nodes()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			table, err := TableFor(2, 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, u := range nodes {
+				for _, v := range nodes {
+					if u == v {
+						continue
+					}
+					routes, ok := table.Routes(u, v)
+					if !ok || len(routes) != 2 {
+						t.Errorf("%s→%s: ok=%v routes=%d", u, v, ok, len(routes))
+						return
+					}
+					// Permute the private copy, as relays do.
+					routes[0], routes[1] = routes[1], routes[0]
+				}
+			}
+			_ = AllTableCounters()
+		}()
+	}
+	wg.Wait()
+}

@@ -47,6 +47,7 @@ type System struct {
 	cfg Config
 
 	graph    *kautz.Graph
+	routes   *kautz.RouteTable // shared precomputed Theorem 3.8 routes; nil = compute directly
 	kidOf    map[world.NodeID]kautz.ID
 	nodeOf   map[kautz.ID]world.NodeID
 	links    map[linkKey][]world.NodeID // physical path per overlay arc
@@ -71,6 +72,11 @@ type Stats struct {
 	FailoverSwitches int
 	// Drops counts abandoned packets.
 	Drops int
+	// RouteCacheHits and RouteCacheMisses count forwarding decisions whose
+	// Theorem 3.8 route set was served from the precomputed route table vs
+	// computed directly from the IDs.
+	RouteCacheHits   int
+	RouteCacheMisses int
 }
 
 // New creates an unbuilt overlay on w.
@@ -154,6 +160,12 @@ func (s *System) Build() error {
 	}
 	s.graph = g
 	s.diameter = k
+	// Share the process-wide precomputed route table when the chosen K(d,k)
+	// is small enough to tabulate; larger overlays fall back to the direct
+	// per-decision computation.
+	if table, err := kautz.TableFor(s.cfg.Degree, k); err == nil {
+		s.routes = table
+	}
 	if s.cfg.HopBudget <= 0 {
 		s.cfg.HopBudget = 3*k + 4
 	}
@@ -233,6 +245,8 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 }
 
 // nearestMember returns the nearest alive overlay member in radio range.
+// The scan ranges over the kidOf map, so distance ties break on the smaller
+// node ID to keep seeded replay exact.
 func (s *System) nearestMember(src world.NodeID) world.NodeID {
 	best, bestDist := world.NoNode, 0.0
 	p := s.w.Position(src)
@@ -245,7 +259,7 @@ func (s *System) nearestMember(src world.NodeID) world.NodeID {
 		if d > r {
 			continue
 		}
-		if best == world.NoNode || d < bestDist {
+		if best == world.NoNode || d < bestDist || (d == bestDist && id < best) {
 			best, bestDist = id, d
 		}
 	}
@@ -267,12 +281,35 @@ func (s *System) route(at world.NodeID, dstKID kautz.ID, budget int, done func(o
 		done(false)
 		return
 	}
-	routes, err := kautz.Routes(s.cfg.Degree, atKID, dstKID)
+	routes, err := s.routesFor(atKID, dstKID)
 	if err != nil {
 		done(false)
 		return
 	}
 	s.tryRoutes(at, dstKID, routes, 0, budget, done)
+}
+
+// routesFor returns the Theorem 3.8 route set for the ordered pair, served
+// from the shared precomputed table (copy-on-read) with a fallback to the
+// direct computation when the overlay graph was too large to tabulate.
+func (s *System) routesFor(u, v kautz.ID) ([]kautz.Route, error) {
+	if s.routes != nil {
+		if routes, ok := s.routes.Routes(u, v); ok {
+			s.stats.RouteCacheHits++
+			return routes, nil
+		}
+	}
+	s.stats.RouteCacheMisses++
+	return kautz.Routes(s.cfg.Degree, u, v)
+}
+
+// countFailoverSwitch records one Theorem 3.8 failover decision, counted
+// exactly once per abandoned path and only when an alternate disjoint path
+// actually remains — the same invariant REFER's intra-cell router keeps.
+func (s *System) countFailoverSwitch(routes []kautz.Route, idx int) {
+	if idx+1 < len(routes) {
+		s.stats.FailoverSwitches++
+	}
 }
 
 // tryRoutes walks the ranked Theorem 3.8 successors; each overlay hop rides
@@ -286,7 +323,7 @@ func (s *System) tryRoutes(at world.NodeID, dstKID kautz.ID, routes []kautz.Rout
 	succ := routes[idx].Successor
 	next, ok := s.nodeOf[succ]
 	if !ok || !s.w.Node(next).Alive() {
-		s.stats.FailoverSwitches++
+		s.countFailoverSwitch(routes, idx)
 		s.tryRoutes(at, dstKID, routes, idx+1, budget, done)
 		return
 	}
@@ -295,7 +332,7 @@ func (s *System) tryRoutes(at world.NodeID, dstKID kautz.ID, routes []kautz.Rout
 			s.route(next, dstKID, budget-1, done)
 			return
 		}
-		s.stats.FailoverSwitches++
+		s.countFailoverSwitch(routes, idx)
 		s.tryRoutes(at, dstKID, routes, idx+1, budget, done)
 	})
 }

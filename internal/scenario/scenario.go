@@ -96,12 +96,21 @@ func Build(p Params) *world.World {
 	// Deployment RNG is separate from the world RNG so protocol randomness
 	// does not perturb node placement across configurations.
 	rng := rand.New(rand.NewSource(p.Seed + 1))
+	// Motion seeds come from a third stream so placement draws do not
+	// depend on how many movers precede a sensor.
+	motionSeeds := rand.New(rand.NewSource(p.Seed + 2))
 	for i := 0; i < p.Sensors; i++ {
 		anchor := layout[rng.Intn(len(layout))]
 		pos := cfg.Region.RandomPointNear(rng, anchor, p.AnchorRadius)
 		var mob mobility.Model
 		if p.MaxSpeed > 0 {
-			mob = mobility.NewWaypoint(patrol, pos, p.MaxSpeed, rng)
+			// Each mover owns an RNG stream (seeded from the deployment
+			// RNG): waypoint itineraries extend lazily on position sampling,
+			// so a shared stream would make every node's motion depend on
+			// the order the simulator happens to sample positions in —
+			// including map-iteration order — and break seeded replay.
+			mob = mobility.NewWaypoint(patrol, pos, p.MaxSpeed,
+				rand.New(rand.NewSource(motionSeeds.Int63())))
 		} else {
 			mob = mobility.Static{P: pos}
 		}
