@@ -306,10 +306,12 @@ func BenchmarkREFERBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkREFERInject measures one end-to-end REFER delivery including all
-// simulator work.
-func BenchmarkREFERInject(b *testing.B) {
+// benchREFERInject measures one end-to-end REFER delivery including all
+// simulator work, optionally with a packet-trace recorder attached.
+func benchREFERInject(b *testing.B, tracer *TraceRecorder) {
+	b.Helper()
 	w := BuildWorld(ScenarioParams{Seed: 1, Sensors: 200})
+	w.SetTracer(tracer)
 	sys := NewREFER(w)
 	if err := sys.Build(); err != nil {
 		b.Fatal(err)
@@ -320,6 +322,7 @@ func BenchmarkREFERInject(b *testing.B) {
 	for _, c := range sys.Cells() {
 		srcs = append(srcs, c.NodeByKID["021"])
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		delivered := false
@@ -330,3 +333,13 @@ func BenchmarkREFERInject(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkREFERInject is the forwarding hot path with tracing disabled —
+// the guard that the observability layer stays off this path (compare
+// against BenchmarkREFERInjectTraced).
+func BenchmarkREFERInject(b *testing.B) { benchREFERInject(b, nil) }
+
+// BenchmarkREFERInjectTraced is the same delivery recording every packet's
+// full event stream; the delta against BenchmarkREFERInject is the cost of
+// opting in at sample rate 1.
+func BenchmarkREFERInjectTraced(b *testing.B) { benchREFERInject(b, NewTraceRecorder(1)) }

@@ -6,18 +6,28 @@
 //	refer-bench                 # quick pass: 3 seeds, 300 s windows
 //	refer-bench -full           # paper-scale: 5 seeds, 1000 s windows
 //	refer-bench -fig 4 -fig 5   # only selected figures
+//	refer-bench -json           # machine-readable output on stdout
+//	refer-bench -trace 100      # packet tracing, sampling every 100th packet
+//
+// A live progress line is written to stderr while sweeps run (suppress with
+// -quiet); Ctrl-C cancels the remaining runs cleanly. -cpuprofile and
+// -memprofile write pprof profiles of the whole invocation.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"refer"
-	"refer/internal/experiment"
 	"refer/internal/kautz"
 )
 
@@ -30,21 +40,46 @@ func (f *figList) Set(v string) error {
 	return nil
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "refer-bench:", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		full   = flag.Bool("full", false, "paper-scale runs (5 seeds, 1000 s windows)")
-		seeds  = flag.Int("seeds", 0, "override the number of seeds")
-		extras = flag.Bool("extras", false, "also run the ablation (A1, A2) and extension (E1–E3) studies")
-		csvDir = flag.String("csv", "", "also write each figure as <dir>/fig<ID>.csv")
-		figs   figList
+		full       = flag.Bool("full", false, "paper-scale runs (5 seeds, 1000 s windows)")
+		seeds      = flag.Int("seeds", 0, "override the number of seeds")
+		extras     = flag.Bool("extras", false, "also run the ablation (A1, A2) and extension (E1–E3) studies")
+		csvDir     = flag.String("csv", "", "also write each figure as <dir>/fig<ID>.csv")
+		jsonOut    = flag.Bool("json", false, "emit the figures as JSON on stdout instead of text tables")
+		traceN     = flag.Int("trace", 0, "attach packet tracing to every run, keeping every Nth packet's event stream (0 = off)")
+		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		figs       figList
 	)
-	flag.Var(&figs, "fig", "figure to regenerate (repeatable; default all)")
+	flag.Var(&figs, "fig", "figure to regenerate by registry ID (repeatable; default all)")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	opts := refer.Options{
-		Seeds:    []int64{1, 2, 3},
-		Warmup:   100 * time.Second,
-		Duration: 300 * time.Second,
+		Seeds:       []int64{1, 2, 3},
+		Warmup:      100 * time.Second,
+		Duration:    300 * time.Second,
+		TraceSample: *traceN,
 	}
 	if *full {
 		opts.Seeds = []int64{1, 2, 3, 4, 5}
@@ -56,54 +91,101 @@ func main() {
 			opts.Seeds = append(opts.Seeds, int64(i))
 		}
 	}
+	if !*quiet {
+		opts.Progress = func(ev refer.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\rfig %-3s %3d/%-3d runs  %8s ",
+				ev.FigureID, ev.Done, ev.Total, ev.Elapsed.Round(100*time.Millisecond))
+		}
+	}
 
-	builders := map[string]func(refer.Options) (refer.Figure, error){
-		"4": refer.Fig4, "5": refer.Fig5, "6": refer.Fig6, "7": refer.Fig7,
-		"8": refer.Fig8, "9": refer.Fig9, "10": refer.Fig10, "11": refer.Fig11,
-	}
-	order := []string{"4", "5", "6", "7", "8", "9", "10", "11"}
-	if *extras {
-		builders["A1"] = experiment.AblationFailover
-		builders["A2"] = experiment.AblationMaintenance
-		builders["E1"] = experiment.ExtSparse
-		builders["E2"] = experiment.ExtSparseDeliveryRatio
-		builders["E3"] = experiment.ExtDegree
-		order = append(order, "A1", "A2", "E1", "E2", "E3")
-	}
-	want := map[string]bool{}
-	for _, f := range figs {
-		if _, ok := builders[f]; !ok {
-			fmt.Fprintf(os.Stderr, "refer-bench: unknown figure %q\n", f)
-			os.Exit(2)
+	// Select figures from the registry: the paper set by default, every
+	// kind with -extras, or exactly the ones named with -fig.
+	var selected []refer.FigureSpec
+	if len(figs) > 0 {
+		for _, id := range figs {
+			spec, ok := refer.FigureByID(id)
+			if !ok {
+				var known []string
+				for _, s := range refer.Figures() {
+					known = append(known, s.ID)
+				}
+				fmt.Fprintf(os.Stderr, "refer-bench: unknown figure %q (known: %s)\n",
+					id, strings.Join(known, ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, spec)
 		}
-		want[f] = true
-	}
-	start := time.Now()
-	for _, id := range order {
-		if len(want) > 0 && !want[id] {
-			continue
-		}
-		fig, err := builders[id](opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "refer-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Println(fig.Table())
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, "fig"+id+".csv")
-			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "refer-bench:", err)
-				os.Exit(1)
+	} else {
+		for _, spec := range refer.Figures() {
+			if spec.Kind == refer.KindPaper || *extras {
+				selected = append(selected, spec)
 			}
 		}
 	}
-	// Route-table effectiveness: every forwarding decision either hit the
-	// shared precomputed Theorem 3.8 table or recomputed routes directly.
-	if counters := kautz.AllTableCounters(); len(counters) > 0 {
-		fmt.Println("route-table cache:")
-		for _, c := range counters {
-			fmt.Println("  " + c.String())
+
+	start := time.Now()
+	var results []refer.Figure
+	for _, spec := range selected {
+		fig, err := spec.Build(ctx, opts)
+		if err != nil {
+			if !*quiet {
+				fmt.Fprintln(os.Stderr)
+			}
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\rfig %-3s %d runs in %v (%.0f events/s)%s\n",
+				spec.ID, fig.Stats.Runs, fig.Stats.WallClock.Round(time.Millisecond),
+				fig.Stats.EventsPerSec, strings.Repeat(" ", 12))
+		}
+		results = append(results, fig)
+		if !*jsonOut {
+			fmt.Println(fig.Table())
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, "fig"+spec.ID+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
 		}
 	}
-	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Second))
+
+	if *jsonOut {
+		out := struct {
+			Figures  []refer.Figure `json:"figures"`
+			WallTime time.Duration  `json:"wall_time_ns"`
+		}{Figures: results, WallTime: time.Since(start)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	}
+
+	// Route-table effectiveness: every forwarding decision either hit the
+	// shared precomputed Theorem 3.8 table or recomputed routes directly.
+	// Diagnostics go to stderr so -json keeps stdout parseable.
+	diag := os.Stdout
+	if *jsonOut {
+		diag = os.Stderr
+	}
+	if counters := kautz.AllTableCounters(); len(counters) > 0 {
+		fmt.Fprintln(diag, "route-table cache:")
+		for _, c := range counters {
+			fmt.Fprintln(diag, "  "+c.String())
+		}
+	}
+	fmt.Fprintf(diag, "total wall time: %v\n", time.Since(start).Round(time.Second))
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 }

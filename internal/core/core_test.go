@@ -9,6 +9,7 @@ import (
 	"refer/internal/geo"
 	"refer/internal/kautz"
 	"refer/internal/mobility"
+	"refer/internal/trace"
 	"refer/internal/world"
 )
 
@@ -650,7 +651,7 @@ func TestFailoverSwitchInvariant(t *testing.T) {
 				w.SetFailed(succs[kid], true)
 			}
 			var got *bool
-			s.routeIntraCell(c, src, "120", s.cfg.HopBudget, func(ok bool) { got = &ok })
+			s.routeIntraCell(c, src, "120", s.cfg.HopBudget, trace.Packet{}, func(ok bool) { got = &ok })
 			w.Sched.Run()
 			if got == nil {
 				t.Fatal("done callback never fired")
@@ -672,7 +673,7 @@ func TestFailoverDisabledCountsNoSwitches(t *testing.T) {
 	s.cfg.DisableFailover = true
 	w.SetFailed(succs["212"], true)
 	var got *bool
-	s.routeIntraCell(c, src, "120", s.cfg.HopBudget, func(ok bool) { got = &ok })
+	s.routeIntraCell(c, src, "120", s.cfg.HopBudget, trace.Packet{}, func(ok bool) { got = &ok })
 	w.Sched.Run()
 	if got == nil || *got {
 		t.Fatal("expected a drop")

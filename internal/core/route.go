@@ -3,6 +3,7 @@ package core
 import (
 	"refer/internal/energy"
 	"refer/internal/kautz"
+	"refer/internal/trace"
 	"refer/internal/world"
 	"sort"
 )
@@ -11,8 +12,12 @@ import (
 // the evaluation's traffic pattern. done fires exactly once: at the
 // actuator's reception time with ok=true, or when the packet is abandoned.
 func (s *System) Inject(src world.NodeID, done func(ok bool)) {
+	p := s.w.Tracer().PacketInject(s.w.Now(), int32(src))
 	finish := func(ok bool) {
-		if !ok {
+		if ok {
+			p.Deliver(s.w.Now())
+		} else {
+			p.Drop(s.w.Now())
 			s.stats.Drops++
 		}
 		if done != nil {
@@ -29,7 +34,7 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 		return
 	}
 	deliver := func() {
-		s.routeToCorners(cell, entry, s.cfg.HopBudget, finish)
+		s.routeToCorners(cell, entry, s.cfg.HopBudget, p, finish)
 	}
 	if entry == src {
 		deliver()
@@ -41,6 +46,7 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 			finish(false)
 			return
 		}
+		p.Hop(s.w.Now(), int32(src), int32(entry), 0)
 		deliver()
 	})
 }
@@ -49,7 +55,7 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 // is for "a nearby actuator", so all three corners are valid sinks). Every
 // relay makes a purely local choice: corners ordered by Kautz distance from
 // its own KID, each tried through its Theorem 3.8 disjoint paths.
-func (s *System) routeToCorners(c *Cell, at world.NodeID, budget int, done func(ok bool)) {
+func (s *System) routeToCorners(c *Cell, at world.NodeID, budget int, p trace.Packet, done func(ok bool)) {
 	atKID, ok := c.kidOfNode[at]
 	if !ok {
 		done(false)
@@ -64,7 +70,7 @@ func (s *System) routeToCorners(c *Cell, at world.NodeID, budget int, done func(
 		return
 	}
 	corners := s.cornersByKautzDistance(c, atKID)
-	s.tryCorners(c, at, corners, 0, budget, done)
+	s.tryCorners(c, at, corners, 0, budget, p, done)
 }
 
 // cornersByKautzDistance returns the alive corner KIDs ordered by Kautz
@@ -89,7 +95,7 @@ func (s *System) cornersByKautzDistance(c *Cell, fromKID kautz.ID) []kautz.ID {
 // tryCorners attempts the ranked corners; for each corner the Theorem 3.8
 // successor list is tried in order, and a successful hop re-enters
 // routeToCorners at the next relay.
-func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, budget int, done func(ok bool)) {
+func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, budget int, p trace.Packet, done func(ok bool)) {
 	if ci >= len(corners) {
 		done(false)
 		return
@@ -97,7 +103,7 @@ func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, bu
 	atKID := c.kidOfNode[at]
 	routes, err := s.routesFor(atKID, corners[ci])
 	if err != nil {
-		s.tryCorners(c, at, corners, ci+1, budget, done)
+		s.tryCorners(c, at, corners, ci+1, budget, p, done)
 		return
 	}
 	s.shuffleEqualLength(routes)
@@ -112,21 +118,22 @@ func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, bu
 			}
 			// All disjoint paths toward this corner failed here; fall back
 			// to the next corner (still a purely local decision).
-			s.tryCorners(c, at, corners, ci+1, budget, done)
+			s.tryCorners(c, at, corners, ci+1, budget, p, done)
 			return
 		}
 		next, ok := c.NodeByKID[routes[idx].Successor]
 		if !ok || !s.w.Node(next).Alive() {
-			s.countFailoverSwitch(routes, idx)
+			s.countFailoverSwitch(p, at, routes, idx)
 			try(idx + 1)
 			return
 		}
 		s.sendOverlayLink(c, at, next, func(delivered bool) {
 			if delivered {
-				s.routeToCorners(c, next, budget-1, done)
+				p.Hop(s.w.Now(), int32(at), int32(next), int8(routes[idx].Class))
+				s.routeToCorners(c, next, budget-1, p, done)
 				return
 			}
-			s.countFailoverSwitch(routes, idx)
+			s.countFailoverSwitch(p, at, routes, idx)
 			try(idx + 1)
 		})
 	}
@@ -149,21 +156,27 @@ func (s *System) routesFor(u, v kautz.ID) ([]kautz.Route, error) {
 }
 
 // countFailoverSwitch records one Theorem 3.8 failover decision: the relay
-// abandons routes[idx] and moves to routes[idx+1]. A switch is counted
+// at abandons routes[idx] and moves to routes[idx+1]. A switch is counted
 // exactly once per abandoned path — whether the failure was known locally
 // (successor dead or unassigned) or discovered by a failed transmission —
 // and only when an alternate disjoint path actually remains to switch to.
-func (s *System) countFailoverSwitch(routes []kautz.Route, idx int) {
+// The decision is also emitted as a trace event when the run is traced.
+func (s *System) countFailoverSwitch(p trace.Packet, at world.NodeID, routes []kautz.Route, idx int) {
 	if !s.cfg.DisableFailover && idx+1 < len(routes) {
 		s.stats.FailoverSwitches++
+		p.FailoverSwitch(s.w.Now(), int32(at), int8(routes[idx].Class))
 	}
 }
 
 // SendTo routes a packet from src to an arbitrary REFER address, using the
 // DHT tier when the destination lies in another cell. done fires once.
 func (s *System) SendTo(src world.NodeID, dst Address, done func(ok bool)) {
+	p := s.w.Tracer().PacketInject(s.w.Now(), int32(src))
 	finish := func(ok bool) {
-		if !ok {
+		if ok {
+			p.Deliver(s.w.Now())
+		} else {
+			p.Drop(s.w.Now())
 			s.stats.Drops++
 		}
 		if done != nil {
@@ -190,25 +203,25 @@ func (s *System) SendTo(src world.NodeID, dst Address, done func(ok bool)) {
 	}
 	route := func(from world.NodeID) {
 		if cell.CID == dst.CID {
-			s.routeIntraCell(cell, from, dst.KID, s.cfg.HopBudget, finish)
+			s.routeIntraCell(cell, from, dst.KID, s.cfg.HopBudget, p, finish)
 			return
 		}
 		// Inter-cell: intra-cell to the Kautz-nearest corner actuator,
 		// CAN-route across cells, then intra-cell to the destination KID.
 		s.stats.InterCell++
 		exitKID := s.nearestCornerByKautz(cell, cell.kidOfNode[from])
-		s.routeIntraCell(cell, from, exitKID, s.cfg.HopBudget, func(ok bool) {
+		s.routeIntraCell(cell, from, exitKID, s.cfg.HopBudget, p, func(ok bool) {
 			if !ok {
 				finish(false)
 				return
 			}
 			exit := cell.NodeByKID[exitKID]
-			s.routeInterCell(cell, exit, dstCell, func(ok bool, entryActuator world.NodeID) {
+			s.routeInterCell(cell, exit, dstCell, p, func(ok bool, entryActuator world.NodeID) {
 				if !ok {
 					finish(false)
 					return
 				}
-				s.routeIntraCell(dstCell, entryActuator, dst.KID, s.cfg.HopBudget, finish)
+				s.routeIntraCell(dstCell, entryActuator, dst.KID, s.cfg.HopBudget, p, finish)
 			})
 		})
 	}
@@ -221,6 +234,7 @@ func (s *System) SendTo(src world.NodeID, dst Address, done func(ok bool)) {
 			finish(false)
 			return
 		}
+		p.Hop(s.w.Now(), int32(src), int32(entry), 0)
 		route(entry)
 	})
 }
@@ -300,7 +314,7 @@ func (s *System) nearestCornerByKautz(c *Cell, fromKID kautz.ID) kautz.ID {
 // Every relay recomputes the ranked successor list from IDs alone; on a
 // failed transmission it falls through to the next-shortest disjoint path
 // without notifying the source.
-func (s *System) routeIntraCell(c *Cell, at world.NodeID, dstKID kautz.ID, budget int, done func(ok bool)) {
+func (s *System) routeIntraCell(c *Cell, at world.NodeID, dstKID kautz.ID, budget int, p trace.Packet, done func(ok bool)) {
 	atKID, ok := c.kidOfNode[at]
 	if !ok {
 		done(false)
@@ -321,7 +335,7 @@ func (s *System) routeIntraCell(c *Cell, at world.NodeID, dstKID kautz.ID, budge
 	}
 	// Randomize among equal-length routes (the paper's tie-break rule).
 	s.shuffleEqualLength(routes)
-	s.tryRoutes(c, at, dstKID, routes, 0, budget, done)
+	s.tryRoutes(c, at, dstKID, routes, 0, budget, p, done)
 }
 
 // shuffleEqualLength randomly permutes runs of routes with equal concrete
@@ -343,7 +357,7 @@ func (s *System) shuffleEqualLength(routes []kautz.Route) {
 }
 
 // tryRoutes attempts the ranked successors in order.
-func (s *System) tryRoutes(c *Cell, at world.NodeID, dstKID kautz.ID, routes []kautz.Route, idx, budget int, done func(ok bool)) {
+func (s *System) tryRoutes(c *Cell, at world.NodeID, dstKID kautz.ID, routes []kautz.Route, idx, budget int, p trace.Packet, done func(ok bool)) {
 	if idx >= len(routes) || (s.cfg.DisableFailover && idx > 0) {
 		done(false) // all (permitted) disjoint paths failed
 		return
@@ -353,17 +367,18 @@ func (s *System) tryRoutes(c *Cell, at world.NodeID, dstKID kautz.ID, routes []k
 	if !ok || !s.w.Node(next).Alive() {
 		// Locally known failure (maintenance removed the node): switch to
 		// the next disjoint path immediately, no radio cost.
-		s.countFailoverSwitch(routes, idx)
-		s.tryRoutes(c, at, dstKID, routes, idx+1, budget, done)
+		s.countFailoverSwitch(p, at, routes, idx)
+		s.tryRoutes(c, at, dstKID, routes, idx+1, budget, p, done)
 		return
 	}
 	s.sendOverlayLink(c, at, next, func(delivered bool) {
 		if delivered {
-			s.routeIntraCell(c, next, dstKID, budget-1, done)
+			p.Hop(s.w.Now(), int32(at), int32(next), int8(routes[idx].Class))
+			s.routeIntraCell(c, next, dstKID, budget-1, p, done)
 			return
 		}
-		s.countFailoverSwitch(routes, idx)
-		s.tryRoutes(c, at, dstKID, routes, idx+1, budget, done)
+		s.countFailoverSwitch(p, at, routes, idx)
+		s.tryRoutes(c, at, dstKID, routes, idx+1, budget, p, done)
 	})
 }
 
@@ -430,17 +445,17 @@ func (s *System) bestRelay(c *Cell, from, to world.NodeID) world.NodeID {
 // (Section III-B-3): each hop is an actuator-to-actuator transmission
 // toward the neighbor cell whose CID is closest to the destination.
 // done receives the actuator the packet arrived at inside dstCell.
-func (s *System) routeInterCell(fromCell *Cell, at world.NodeID, dstCell *Cell, done func(ok bool, entry world.NodeID)) {
+func (s *System) routeInterCell(fromCell *Cell, at world.NodeID, dstCell *Cell, p trace.Packet, done func(ok bool, entry world.NodeID)) {
 	cidRoute, _ := s.dht.table.Route(fromCell.CID, dstCell.CID)
 	if cidRoute == nil {
 		done(false, world.NoNode)
 		return
 	}
-	s.hopCells(at, cidRoute, 0, done)
+	s.hopCells(at, cidRoute, 0, p, done)
 }
 
 // hopCells walks the CID route, hopping actuators between consecutive cells.
-func (s *System) hopCells(at world.NodeID, cidRoute []int, idx int, done func(ok bool, entry world.NodeID)) {
+func (s *System) hopCells(at world.NodeID, cidRoute []int, idx int, p trace.Packet, done func(ok bool, entry world.NodeID)) {
 	if idx == len(cidRoute)-1 {
 		done(true, at)
 		return
@@ -449,18 +464,18 @@ func (s *System) hopCells(at world.NodeID, cidRoute []int, idx int, done func(ok
 	// If the current actuator also sits in the next cell, no radio hop is
 	// needed (shared-corner adjacency).
 	if _, ok := nextCell.kidOfNode[at]; ok {
-		s.hopCells(at, cidRoute, idx+1, done)
+		s.hopCells(at, cidRoute, idx+1, p, done)
 		return
 	}
 	// Otherwise transmit to the nearest alive corner of the next cell.
 	target := world.NoNode
 	bestDist := 0.0
-	p := s.w.Position(at)
+	pos := s.w.Position(at)
 	for _, corner := range nextCell.Corners {
 		if !s.w.Node(corner).Alive() {
 			continue
 		}
-		d := p.Dist(s.w.Position(corner))
+		d := pos.Dist(s.w.Position(corner))
 		if target == world.NoNode || d < bestDist {
 			target, bestDist = corner, d
 		}
@@ -474,6 +489,7 @@ func (s *System) hopCells(at world.NodeID, cidRoute []int, idx int, done func(ok
 			done(false, world.NoNode)
 			return
 		}
-		s.hopCells(target, cidRoute, idx+1, done)
+		p.Hop(s.w.Now(), int32(at), int32(target), 0)
+		s.hopCells(target, cidRoute, idx+1, p, done)
 	})
 }

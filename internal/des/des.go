@@ -118,17 +118,36 @@ func (s *Scheduler) Step() bool {
 // finishes at min(deadline, last event time); if the queue drains early the
 // clock is advanced to the deadline.
 func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.RunUntilLimit(deadline, 0)
+}
+
+// RunUntilLimit is RunUntil with a batch bound: at most limit events are
+// executed (limit <= 0 means unbounded). It reports whether events at or
+// before deadline remain — i.e. whether another batch is needed. Callers use
+// it to interleave simulation with host-side work such as context
+// cancellation checks; looping until it returns false is exactly
+// RunUntil(deadline), including advancing the clock to the deadline once the
+// window's events are exhausted.
+func (s *Scheduler) RunUntilLimit(deadline time.Duration, limit int) bool {
 	s.halted = false
-	for !s.halted {
+	executed := 0
+	for !s.halted && (limit <= 0 || executed < limit) {
 		next, ok := s.peek()
 		if !ok || next > deadline {
-			break
+			// The window is done: finish the clock like RunUntil.
+			if s.now < deadline {
+				s.now = deadline
+			}
+			return false
 		}
 		s.Step()
+		executed++
 	}
-	if !s.halted && s.now < deadline {
-		s.now = deadline
+	if s.halted {
+		return false
 	}
+	next, ok := s.peek()
+	return ok && next <= deadline
 }
 
 // Run executes events until the queue is empty or Halt is called.

@@ -372,3 +372,86 @@ func TestCancelDuringRun(t *testing.T) {
 		t.Fatal("cancelled event ran")
 	}
 }
+
+// TestRunUntilLimitBatches drives a window in bounded batches and checks
+// the loop is exactly equivalent to one RunUntil call.
+func TestRunUntilLimitBatches(t *testing.T) {
+	var batched, straight Scheduler
+	load := func(s *Scheduler) *[]time.Duration {
+		var fired []time.Duration
+		for i := 1; i <= 10; i++ {
+			at := time.Duration(i) * time.Second
+			if _, err := s.At(at, func() { fired = append(fired, s.Now()) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return &fired
+	}
+	bf := load(&batched)
+	sf := load(&straight)
+
+	batches := 0
+	for batched.RunUntilLimit(7*time.Second, 3) {
+		batches++
+	}
+	batches++
+	straight.RunUntil(7 * time.Second)
+
+	if batches != 3 { // 3 + 3 + 1 events
+		t.Fatalf("batches = %d, want 3", batches)
+	}
+	if len(*bf) != len(*sf) || len(*bf) != 7 {
+		t.Fatalf("fired %d batched vs %d straight, want 7", len(*bf), len(*sf))
+	}
+	if batched.Now() != straight.Now() || batched.Now() != 7*time.Second {
+		t.Fatalf("clocks: batched %v, straight %v, want 7s", batched.Now(), straight.Now())
+	}
+	if batched.Pending() != 3 || straight.Pending() != 3 {
+		t.Fatalf("pending: batched %d, straight %d, want 3", batched.Pending(), straight.Pending())
+	}
+}
+
+// TestRunUntilLimitMidBatchClock checks the clock is not prematurely
+// advanced to the deadline while events remain in the window.
+func TestRunUntilLimitMidBatchClock(t *testing.T) {
+	var s Scheduler
+	for i := 1; i <= 4; i++ {
+		at := time.Duration(i) * time.Second
+		if _, err := s.At(at, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if more := s.RunUntilLimit(10*time.Second, 2); !more {
+		t.Fatal("events remain but RunUntilLimit reported done")
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("mid-batch clock = %v, want 2s", s.Now())
+	}
+	if more := s.RunUntilLimit(10*time.Second, 0); more {
+		t.Fatal("unbounded batch should finish the window")
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("final clock = %v, want 10s", s.Now())
+	}
+}
+
+// TestRunUntilLimitHalt checks Halt inside a batch stops it without
+// advancing the clock to the deadline, like RunUntil.
+func TestRunUntilLimitHalt(t *testing.T) {
+	var s Scheduler
+	if _, err := s.At(time.Second, func() { s.Halt() }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.At(2*time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if more := s.RunUntilLimit(5*time.Second, 0); more {
+		t.Fatal("halted batch reported more work")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("halted clock = %v, want 1s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}

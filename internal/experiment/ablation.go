@@ -1,22 +1,20 @@
 package experiment
 
-import "refer/internal/scenario"
+import "context"
 
 // AblationFailover quantifies Theorem 3.8's contribution: REFER with and
 // without the alternate-path failover, swept over the faulty-node counts of
 // Figure 7, measuring QoS throughput. Without failover a relay drops the
 // packet the moment its greedy shortest successor fails.
 func AblationFailover(o Options) (Figure, error) {
+	return buildByID(context.Background(), "A1", o)
+}
+
+func ablationFailover(ctx context.Context, o Options) (Figure, error) {
 	o = o.withDefaults()
 	o.Systems = []string{SystemREFER, SystemREFERNoFailover}
-	fig, err := sweep(o, faultXs, func(x float64, seed int64) RunConfig {
-		return RunConfig{
-			Scenario:   scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 1},
-			FaultCount: int(x),
-		}
-	}, func(r Result) float64 { return r.Throughput })
-	fig.ID, fig.Title = "A1", "Ablation: Theorem 3.8 failover under faults"
-	fig.XLabel, fig.YLabel = "faulty nodes", "throughput (pkt/s)"
+	fig, err := faultSweep(ctx, o, func(r Result) float64 { return r.Throughput })
+	fig.YLabel = "throughput (pkt/s)"
 	return fig, err
 }
 
@@ -25,12 +23,13 @@ func AblationFailover(o Options) (Figure, error) {
 // measuring QoS throughput. Without maintenance the embedding decays as
 // overlay sensors drift out of their cells.
 func AblationMaintenance(o Options) (Figure, error) {
+	return buildByID(context.Background(), "A2", o)
+}
+
+func ablationMaintenance(ctx context.Context, o Options) (Figure, error) {
 	o = o.withDefaults()
 	o.Systems = []string{SystemREFER, SystemREFERNoMaintenance}
-	fig, err := sweep(o, mobilityXs, func(x float64, seed int64) RunConfig {
-		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 2 * x}}
-	}, func(r Result) float64 { return r.Throughput })
-	fig.ID, fig.Title = "A2", "Ablation: topology maintenance under mobility"
-	fig.XLabel, fig.YLabel = "mean speed (m/s)", "throughput (pkt/s)"
+	fig, err := mobilitySweep(ctx, o, func(r Result) float64 { return r.Throughput })
+	fig.YLabel = "throughput (pkt/s)"
 	return fig, err
 }

@@ -30,7 +30,9 @@ func replayConfig(system string) RunConfig {
 
 // testReplay runs the same seeded configuration twice and requires bitwise
 // identical results. Result is a comparable struct, so != compares every
-// counter, energy ledger and latency moment at once.
+// counter, energy ledger and latency moment at once; only the host-timing
+// fields of the stats block are stripped, since wall clock is the one thing
+// a replay legitimately changes.
 func testReplay(t *testing.T, system string) {
 	t.Helper()
 	cfg := replayConfig(system)
@@ -42,6 +44,8 @@ func testReplay(t *testing.T, system string) {
 	if err != nil {
 		t.Fatalf("second run: %v", err)
 	}
+	r1.Stats = r1.Stats.StripWallClock()
+	r2.Stats = r2.Stats.StripWallClock()
 	if r1 != r2 {
 		t.Fatalf("replay diverged for %s:\n first = %+v\nsecond = %+v", system, r1, r2)
 	}
@@ -66,8 +70,8 @@ func TestReplayDeterminismKautzOverlay(t *testing.T) {
 
 // TestReplayTableMatchesDirect checks the route table is a pure cache:
 // the same seeded run with and without the table yields identical results
-// apart from the System label and the cache counters (which are not part
-// of Result).
+// apart from the System label and the stats block's cache counters (hits
+// become misses) and host timing.
 func TestReplayTableMatchesDirect(t *testing.T) {
 	cached, err := Run(replayConfig(SystemREFER))
 	if err != nil {
@@ -77,7 +81,21 @@ func TestReplayTableMatchesDirect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if cached.Stats.RouteTableHits == 0 || direct.Stats.RouteTableMisses == 0 {
+		t.Fatalf("cache counters not exercised: cached hits=%d direct misses=%d",
+			cached.Stats.RouteTableHits, direct.Stats.RouteTableMisses)
+	}
+	if cached.Stats.RouteTableHits+cached.Stats.RouteTableMisses !=
+		direct.Stats.RouteTableHits+direct.Stats.RouteTableMisses {
+		t.Fatalf("route-set lookups differ: cached %d+%d vs direct %d+%d",
+			cached.Stats.RouteTableHits, cached.Stats.RouteTableMisses,
+			direct.Stats.RouteTableHits, direct.Stats.RouteTableMisses)
+	}
 	direct.System = cached.System
+	cached.Stats = cached.Stats.StripWallClock()
+	direct.Stats = direct.Stats.StripWallClock()
+	direct.Stats.RouteTableHits, direct.Stats.RouteTableMisses =
+		cached.Stats.RouteTableHits, cached.Stats.RouteTableMisses
 	if cached != direct {
 		t.Fatalf("route table changed routing behavior:\ncached = %+v\ndirect = %+v", cached, direct)
 	}

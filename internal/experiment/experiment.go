@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"time"
@@ -17,6 +18,7 @@ import (
 	"refer/internal/kautzoverlay"
 	"refer/internal/metrics"
 	"refer/internal/scenario"
+	"refer/internal/trace"
 	"refer/internal/world"
 )
 
@@ -116,6 +118,13 @@ type RunConfig struct {
 	FaultRotation time.Duration
 	// QoSDeadline is the real-time cutoff (paper: 0.6 s).
 	QoSDeadline time.Duration
+	// Trace, when non-nil, attaches a packet-trace recorder to the run's
+	// world: the traced systems (REFER and the Kautz overlay) record every
+	// packet's lifecycle (inject → hop → failover-switch → drop/deliver)
+	// and the world feeds radio counters. The recorder must be private to
+	// this run — it is unsynchronized by design. Nil (the default) leaves
+	// the forwarding hot path untouched.
+	Trace *trace.Recorder
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -164,15 +173,73 @@ type Result struct {
 	ConstructionEnergy float64
 	// Packet counters within the measurement window.
 	Created, Delivered, QoS, Dropped int
+	// Stats is the run's observability block: host timing, DES and
+	// protocol counters, and (when tracing was on) trace event counts.
+	Stats RunStats
 }
 
 // TotalEnergy returns construction plus communication energy.
 func (r Result) TotalEnergy() float64 { return r.CommEnergy + r.ConstructionEnergy }
 
+// RunStats is the per-run observability block: how the simulation ran, as
+// opposed to what it measured. Every field except the host-timing pair
+// (WallClock, EventsPerSec) is deterministic per seed; replay comparisons
+// strip those two with StripWallClock.
+type RunStats struct {
+	// WallClock is the host time the run took; EventsPerSec is the DES
+	// event rate over it. Both vary between replays of the same seed.
+	WallClock    time.Duration `json:"wall_clock_ns"`
+	EventsPerSec float64       `json:"events_per_sec"`
+	// SimTime is the final virtual clock (warmup + duration + grace).
+	SimTime time.Duration `json:"sim_time_ns"`
+	// DESEvents is the number of discrete events the scheduler executed.
+	DESEvents uint64 `json:"des_events"`
+	// RouteTableHits and RouteTableMisses count forwarding decisions whose
+	// Theorem 3.8 route set was served from the precomputed route table vs
+	// computed directly (REFER and Kautz-overlay runs; zero otherwise).
+	RouteTableHits   int `json:"route_table_hits"`
+	RouteTableMisses int `json:"route_table_misses"`
+	// FailoverSwitches counts Theorem 3.8 alternate-path decisions.
+	FailoverSwitches int `json:"failover_switches"`
+	// CommEnergy and ConstructionEnergy repeat the Result ledgers (Joules)
+	// so the stats block is self-contained for machine consumers.
+	CommEnergy         float64 `json:"comm_energy_j"`
+	ConstructionEnergy float64 `json:"construction_energy_j"`
+	// Trace holds the exact packet-lifecycle and radio counters when a
+	// recorder was attached; zero otherwise.
+	Trace trace.Counts `json:"trace"`
+}
+
+// StripWallClock returns the stats with the host-timing fields zeroed —
+// everything left is a deterministic function of the RunConfig, so replay
+// tests can compare Results for bitwise equality.
+func (s RunStats) StripWallClock() RunStats {
+	s.WallClock = 0
+	s.EventsPerSec = 0
+	return s
+}
+
 // Run executes one simulation and returns its measurements.
 func Run(cfg RunConfig) (Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// desBatch is how many DES events RunContext executes between context
+// checks. Large enough that the per-batch overhead is noise, small enough
+// that cancellation lands within microseconds of host time.
+const desBatch = 8192
+
+// RunContext is Run with cancellation: the DES drive loop executes events
+// in batches and checks ctx between batches, so a cancelled or expired
+// context aborts the run promptly with ctx.Err().
+func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
 	cfg = cfg.withDefaults()
 	w := scenario.Build(cfg.Scenario)
+	w.SetTracer(cfg.Trace)
 	sys, err := NewSystem(cfg.System, w)
 	if err != nil {
 		return Result{}, err
@@ -264,7 +331,39 @@ func Run(cfg RunConfig) (Result, error) {
 	}
 
 	// Grace period lets in-flight packets from the window's tail arrive.
-	w.Sched.RunUntil(end + 2*time.Second)
+	// Batched so cancellation is honored mid-simulation.
+	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		if !w.Sched.RunUntilLimit(end+2*time.Second, desBatch) {
+			break
+		}
+	}
+
+	stats := RunStats{
+		WallClock:          time.Since(start),
+		SimTime:            w.Now(),
+		DESEvents:          w.Sched.Fired(),
+		CommEnergy:         w.TotalEnergy(energy.Communication),
+		ConstructionEnergy: w.TotalEnergy(energy.Construction),
+		Trace:              cfg.Trace.Counts(),
+	}
+	if secs := stats.WallClock.Seconds(); secs > 0 {
+		stats.EventsPerSec = float64(stats.DESEvents) / secs
+	}
+	switch impl := sys.(type) {
+	case *core.System:
+		st := impl.Stats()
+		stats.RouteTableHits = st.RouteCacheHits
+		stats.RouteTableMisses = st.RouteCacheMisses
+		stats.FailoverSwitches = st.FailoverSwitches
+	case *kautzoverlay.System:
+		st := impl.Stats()
+		stats.RouteTableHits = st.RouteCacheHits
+		stats.RouteTableMisses = st.RouteCacheMisses
+		stats.FailoverSwitches = st.FailoverSwitches
+	}
 
 	created, delivered, qos, dropped := collector.Counts()
 	return Result{
@@ -272,11 +371,12 @@ func Run(cfg RunConfig) (Result, error) {
 		Throughput:         collector.Throughput(),
 		MeanQoSDelay:       collector.MeanQoSDelay(),
 		MeanDelay:          collector.MeanDelay(),
-		CommEnergy:         w.TotalEnergy(energy.Communication),
-		ConstructionEnergy: w.TotalEnergy(energy.Construction),
+		CommEnergy:         stats.CommEnergy,
+		ConstructionEnergy: stats.ConstructionEnergy,
 		Created:            created,
 		Delivered:          delivered,
 		QoS:                qos,
 		Dropped:            dropped,
+		Stats:              stats,
 	}, nil
 }

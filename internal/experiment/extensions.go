@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"refer/internal/core"
 	"refer/internal/metrics"
 	"refer/internal/scenario"
+	"refer/internal/trace"
 )
 
 // sparseXs sweeps sensor density downward; the paper's conclusion lists
@@ -22,8 +25,11 @@ var sparseXs = []float64{60, 100, 140, 200}
 // the system scores zero for that run — the density threshold is the
 // finding, not an error.
 func ExtSparse(o Options) (Figure, error) {
-	fig, err := sparseSweep(o, func(r Result) float64 { return r.Throughput })
-	fig.ID, fig.Title = "E1", "Extension: QoS throughput in sparse deployments"
+	return buildByID(context.Background(), "E1", o)
+}
+
+func extSparse(ctx context.Context, o Options) (Figure, error) {
+	fig, err := sparseSweep(ctx, o, func(r Result) float64 { return r.Throughput })
 	fig.XLabel, fig.YLabel = "sensors", "throughput (pkt/s)"
 	return fig, err
 }
@@ -31,13 +37,16 @@ func ExtSparse(o Options) (Figure, error) {
 // ExtSparseDeliveryRatio is the same sweep, measured as the fraction of
 // created packets that reach an actuator at all (no deadline).
 func ExtSparseDeliveryRatio(o Options) (Figure, error) {
-	fig, err := sparseSweep(o, func(r Result) float64 {
+	return buildByID(context.Background(), "E2", o)
+}
+
+func extSparseDeliveryRatio(ctx context.Context, o Options) (Figure, error) {
+	fig, err := sparseSweep(ctx, o, func(r Result) float64 {
 		if r.Created == 0 {
 			return 0
 		}
 		return float64(r.Delivered) / float64(r.Created)
 	})
-	fig.ID, fig.Title = "E2", "Extension: delivery ratio in sparse deployments"
 	fig.XLabel, fig.YLabel = "sensors", "delivery ratio"
 	return fig, err
 }
@@ -51,29 +60,42 @@ var degreeXs = []float64{2, 6, 10, 14, 18}
 // larger embedding (33 overlay sensors per cell) and more maintenance.
 // The deployment uses 400 sensors so both variants can form cells.
 func ExtDegree(o Options) (Figure, error) {
+	return buildByID(context.Background(), "E3", o)
+}
+
+func extDegree(ctx context.Context, o Options) (Figure, error) {
 	o = o.withDefaults()
 	o.Systems = []string{SystemREFER, SystemREFERK33}
-	fig, err := sweep(o, degreeXs, func(x float64, seed int64) RunConfig {
+	fig, err := sweep(ctx, o, degreeXs, func(x float64, seed int64) RunConfig {
 		return RunConfig{
 			Scenario:   scenario.Params{Seed: seed, Sensors: 400, MaxSpeed: 1},
 			FaultCount: int(x),
 		}
 	}, func(r Result) float64 { return r.Throughput })
-	fig.ID, fig.Title = "E3", "Extension: K(2,3) vs K(3,3) cells under faults"
 	fig.XLabel, fig.YLabel = "faulty nodes", "throughput (pkt/s)"
 	return fig, err
 }
 
 // sparseSweep is like sweep but records a zero sample when a system cannot
-// construct its topology on a deployment (too sparse to operate).
-func sparseSweep(o Options, pick func(Result) float64) (Figure, error) {
+// construct its topology on a deployment (too sparse to operate). It runs
+// sequentially — construction failures are part of the measurement, so the
+// sweep never stops early on them — but honors cancellation and reports
+// progress like sweep.
+func sparseSweep(ctx context.Context, o Options, pick func(Result) float64) (Figure, error) {
 	o = o.withDefaults()
+	start := time.Now()
+	total := len(o.Systems) * len(sparseXs) * len(o.Seeds)
+	done := 0
+	var stats SweepStats
 	var fig Figure
 	for _, sys := range o.Systems {
 		series := Series{System: sys, Points: make([]Point, 0, len(sparseXs))}
 		for _, x := range sparseXs {
 			samples := make([]float64, 0, len(o.Seeds))
 			for _, seed := range o.Seeds {
+				if err := ctx.Err(); err != nil {
+					return Figure{}, err
+				}
 				cfg := RunConfig{
 					System:   sys,
 					Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5},
@@ -83,20 +105,42 @@ func sparseSweep(o Options, pick func(Result) float64) (Figure, error) {
 				if o.PacketsPerSource > 0 {
 					cfg.PacketsPerSource = o.PacketsPerSource
 				}
-				res, err := Run(cfg)
+				if o.TraceSample > 0 {
+					cfg.Trace = trace.NewRecorder(o.TraceSample)
+				}
+				res, err := RunContext(ctx, cfg)
+				done++
 				switch {
 				case err == nil:
 					samples = append(samples, pick(res))
+					stats.accumulate(res.Stats)
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					return Figure{}, err
 				case strings.Contains(err.Error(), "building"):
 					samples = append(samples, 0) // cannot operate this sparse
+					err = nil
 				default:
-					return Figure{}, err
+					return Figure{}, fmt.Errorf("experiment: %s seed=%d x=%g: %w", sys, seed, x, err)
+				}
+				if o.Progress != nil {
+					o.Progress(ProgressEvent{
+						FigureID: o.figureID,
+						Done:     done,
+						Total:    total,
+						System:   sys,
+						Seed:     seed,
+						X:        x,
+						Err:      err,
+						Elapsed:  time.Since(start),
+					})
 				}
 			}
 			series.Points = append(series.Points, Point{X: x, Y: metrics.Summarize(samples)})
 		}
 		fig.Series = append(fig.Series, series)
 	}
+	stats.finish(start)
+	fig.Stats = stats
 	return fig, nil
 }
 

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,6 +12,7 @@ import (
 
 	"refer/internal/metrics"
 	"refer/internal/scenario"
+	"refer/internal/trace"
 )
 
 // Options scales the figure sweeps. The zero value reproduces the paper's
@@ -29,6 +32,77 @@ type Options struct {
 	PacketsPerSource int
 	// Parallelism bounds concurrent simulation runs (0 = GOMAXPROCS).
 	Parallelism int
+	// Progress, when non-nil, receives one event after every completed
+	// simulation run of a sweep. Calls are serialized (never concurrent)
+	// but may come from any worker goroutine.
+	Progress func(ProgressEvent)
+	// TraceSample, when > 0, attaches a packet-trace recorder to every run
+	// of the sweep, storing every TraceSample-th packet's event stream.
+	// Trace counters (which are always exact) aggregate into the figure's
+	// SweepStats. Zero disables tracing entirely.
+	TraceSample int
+
+	// figureID labels progress events with the owning registry entry; set
+	// by the registry wrapper, empty for direct sweep use.
+	figureID string
+}
+
+// ProgressEvent reports one finished simulation run of a sweep.
+type ProgressEvent struct {
+	// FigureID is the registry ID of the figure being built ("" when the
+	// sweep was invoked outside the registry).
+	FigureID string
+	// Done runs out of Total have finished (including this one).
+	Done, Total int
+	// System, Seed and X identify the run within the sweep grid.
+	System string
+	Seed   int64
+	X      float64
+	// Err is the run's error, nil on success.
+	Err error
+	// Elapsed is the wall time since the sweep started.
+	Elapsed time.Duration
+}
+
+// SweepStats aggregates the per-run observability blocks of a figure's
+// sweep. Host-timing fields depend on machine load; everything else is
+// deterministic per Options.
+type SweepStats struct {
+	// Runs is the number of simulation runs that finished (successfully).
+	Runs int `json:"runs"`
+	// WallClock is the sweep's host time end to end; RunWallClock is the
+	// sum of the individual runs' wall clocks (> WallClock when parallel).
+	WallClock    time.Duration `json:"wall_clock_ns"`
+	RunWallClock time.Duration `json:"run_wall_clock_ns"`
+	// DESEvents totals scheduler events across runs; EventsPerSec is that
+	// total over WallClock.
+	DESEvents    uint64  `json:"des_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Protocol counters summed across runs.
+	RouteTableHits   uint64 `json:"route_table_hits"`
+	RouteTableMisses uint64 `json:"route_table_misses"`
+	FailoverSwitches uint64 `json:"failover_switches"`
+	// Trace sums the runs' trace counters; zero unless TraceSample > 0.
+	Trace trace.Counts `json:"trace"`
+}
+
+// accumulate folds one run's stats into the sweep totals.
+func (s *SweepStats) accumulate(r RunStats) {
+	s.Runs++
+	s.RunWallClock += r.WallClock
+	s.DESEvents += r.DESEvents
+	s.RouteTableHits += uint64(r.RouteTableHits)
+	s.RouteTableMisses += uint64(r.RouteTableMisses)
+	s.FailoverSwitches += uint64(r.FailoverSwitches)
+	s.Trace.Add(r.Trace)
+}
+
+// finish stamps the end-to-end timing fields.
+func (s *SweepStats) finish(start time.Time) {
+	s.WallClock = time.Since(start)
+	if secs := s.WallClock.Seconds(); secs > 0 {
+		s.EventsPerSec = float64(s.DESEvents) / secs
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -46,28 +120,32 @@ func (o Options) withDefaults() Options {
 
 // Point is one x-position of a figure series.
 type Point struct {
-	X float64
-	Y metrics.Summary
+	X float64         `json:"x"`
+	Y metrics.Summary `json:"y"`
 }
 
 // Series is one system's curve.
 type Series struct {
-	System string
-	Points []Point
+	System string  `json:"system"`
+	Points []Point `json:"points"`
 }
 
 // Figure is a reproduced evaluation figure: per-system series over a sweep.
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	XLabel string     `json:"x_label"`
+	YLabel string     `json:"y_label"`
+	Series []Series   `json:"series"`
+	Stats  SweepStats `json:"stats"`
 }
 
 // sweep runs the cross product systems × xs × seeds and reduces each
-// (system, x) cell to a summary of the metric selected by pick.
-func sweep(o Options, xs []float64, configure func(x float64, seed int64) RunConfig, pick func(Result) float64) (Figure, error) {
+// (system, x) cell to a summary of the metric selected by pick. Runs
+// execute in parallel; a failed run or a cancelled context stops further
+// jobs from being scheduled, and every run error — each wrapped with the
+// failing run's system, seed and x — is aggregated with errors.Join.
+func sweep(ctx context.Context, o Options, xs []float64, configure func(x float64, seed int64) RunConfig, pick func(Result) float64) (Figure, error) {
 	o = o.withDefaults()
 	type cell struct {
 		sys string
@@ -76,6 +154,7 @@ func sweep(o Options, xs []float64, configure func(x float64, seed int64) RunCon
 	type job struct {
 		cfg  RunConfig
 		cell cell
+		x    float64
 	}
 	var jobs []job
 	for _, sys := range o.Systems {
@@ -92,7 +171,7 @@ func sweep(o Options, xs []float64, configure func(x float64, seed int64) RunCon
 				if o.PacketsPerSource > 0 {
 					cfg.PacketsPerSource = o.PacketsPerSource
 				}
-				jobs = append(jobs, job{cfg: cfg, cell: cell{sys: sys, x: xi}})
+				jobs = append(jobs, job{cfg: cfg, cell: cell{sys: sys, x: xi}, x: x})
 			}
 		}
 	}
@@ -101,35 +180,70 @@ func sweep(o Options, xs []float64, configure func(x float64, seed int64) RunCon
 	if parallelism <= 0 {
 		parallelism = defaultParallelism()
 	}
+	start := time.Now()
 	var (
-		mu       sync.Mutex
-		samples  = make(map[cell][]float64)
-		firstErr error
-		wg       sync.WaitGroup
-		sem      = make(chan struct{}, parallelism)
+		mu      sync.Mutex
+		samples = make(map[cell][]float64)
+		errs    []error
+		failed  bool
+		done    int
+		stats   SweepStats
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, parallelism)
 	)
+	total := len(jobs)
 	for _, j := range jobs {
 		j := j
+		if ctx.Err() != nil {
+			break
+		}
+		mu.Lock()
+		halt := failed
+		mu.Unlock()
+		if halt {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, err := Run(j.cfg)
+			cfg := j.cfg
+			if o.TraceSample > 0 {
+				cfg.Trace = trace.NewRecorder(o.TraceSample)
+			}
+			res, err := RunContext(ctx, cfg)
 			mu.Lock()
 			defer mu.Unlock()
+			done++
 			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				return
+				failed = true
+				errs = append(errs, fmt.Errorf("experiment: %s seed=%d x=%g: %w",
+					j.cfg.System, j.cfg.Scenario.Seed, j.x, err))
+			} else {
+				samples[j.cell] = append(samples[j.cell], pick(res))
+				stats.accumulate(res.Stats)
 			}
-			samples[j.cell] = append(samples[j.cell], pick(res))
+			if o.Progress != nil {
+				o.Progress(ProgressEvent{
+					FigureID: o.figureID,
+					Done:     done,
+					Total:    total,
+					System:   j.cfg.System,
+					Seed:     j.cfg.Scenario.Seed,
+					X:        j.x,
+					Err:      err,
+					Elapsed:  time.Since(start),
+				})
+			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return Figure{}, firstErr
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return Figure{}, errors.Join(errs...)
 	}
 
 	var fig Figure
@@ -142,6 +256,8 @@ func sweep(o Options, xs []float64, configure func(x float64, seed int64) RunCon
 		}
 		fig.Series = append(fig.Series, series)
 	}
+	stats.finish(start)
+	fig.Stats = stats
 	return fig, nil
 }
 
@@ -163,105 +279,52 @@ var faultXs = []float64{2, 4, 6, 8, 10}
 // scaleXs are the paper's network sizes (number of sensors).
 var scaleXs = []float64{100, 200, 300, 400}
 
-// Fig4 reproduces Figure 4: QoS throughput vs node mobility.
-func Fig4(o Options) (Figure, error) {
+// mobilitySweep runs the Figure 4/5 grid: speed drawn from [0, 2x] m/s.
+func mobilitySweep(ctx context.Context, o Options, pick func(Result) float64) (Figure, error) {
 	o = o.withDefaults()
-	fig, err := sweep(o, mobilityXs, func(x float64, seed int64) RunConfig {
+	fig, err := sweep(ctx, o, mobilityXs, func(x float64, seed int64) RunConfig {
 		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 2 * x}}
-	}, func(r Result) float64 { return r.Throughput })
-	fig.ID, fig.Title = "4", "QoS throughput vs node mobility"
-	fig.XLabel, fig.YLabel = "mean speed (m/s)", "throughput (pkt/s)"
+	}, pick)
+	fig.XLabel = "mean speed (m/s)"
 	return fig, err
 }
 
-// Fig5 reproduces Figure 5: communication energy vs node mobility.
-func Fig5(o Options) (Figure, error) {
+// faultSweep runs the Figure 6/7 grid: x faulty sensors at 1 m/s.
+func faultSweep(ctx context.Context, o Options, pick func(Result) float64) (Figure, error) {
 	o = o.withDefaults()
-	fig, err := sweep(o, mobilityXs, func(x float64, seed int64) RunConfig {
-		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 2 * x}}
-	}, func(r Result) float64 { return r.CommEnergy })
-	fig.ID, fig.Title = "5", "Energy consumed in communication vs node mobility"
-	fig.XLabel, fig.YLabel = "mean speed (m/s)", "energy (J)"
-	return fig, err
-}
-
-// Fig6 reproduces Figure 6: transmission delay vs number of faulty nodes.
-func Fig6(o Options) (Figure, error) {
-	o = o.withDefaults()
-	fig, err := sweep(o, faultXs, func(x float64, seed int64) RunConfig {
+	fig, err := sweep(ctx, o, faultXs, func(x float64, seed int64) RunConfig {
 		return RunConfig{
 			Scenario:   scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 1},
 			FaultCount: int(x),
 		}
-	}, func(r Result) float64 { return r.MeanQoSDelay.Seconds() * 1000 })
-	fig.ID, fig.Title = "6", "Transmission delay vs number of faulty nodes"
-	fig.XLabel, fig.YLabel = "faulty nodes", "delay (ms)"
+	}, pick)
+	fig.XLabel = "faulty nodes"
 	return fig, err
 }
 
-// Fig7 reproduces Figure 7: QoS throughput vs number of faulty nodes.
-func Fig7(o Options) (Figure, error) {
-	o = o.withDefaults()
-	fig, err := sweep(o, faultXs, func(x float64, seed int64) RunConfig {
-		return RunConfig{
-			Scenario:   scenario.Params{Seed: seed, Sensors: o.Sensors, MaxSpeed: 1},
-			FaultCount: int(x),
-		}
-	}, func(r Result) float64 { return r.Throughput })
-	fig.ID, fig.Title = "7", "QoS throughput vs number of faulty nodes"
-	fig.XLabel, fig.YLabel = "faulty nodes", "throughput (pkt/s)"
-	return fig, err
-}
-
-// Fig8 reproduces Figure 8: transmission delay vs network size.
-func Fig8(o Options) (Figure, error) {
-	fig, err := sweep(o, scaleXs, func(x float64, seed int64) RunConfig {
+// scaleSweep runs the Figure 8–11 grid: network size at 1.5 m/s.
+func scaleSweep(ctx context.Context, o Options, pick func(Result) float64) (Figure, error) {
+	fig, err := sweep(ctx, o, scaleXs, func(x float64, seed int64) RunConfig {
 		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5}}
-	}, func(r Result) float64 { return r.MeanQoSDelay.Seconds() * 1000 })
-	fig.ID, fig.Title = "8", "Transmission delay vs network size"
-	fig.XLabel, fig.YLabel = "sensors", "delay (ms)"
+	}, pick)
+	fig.XLabel = "sensors"
 	return fig, err
 }
 
-// Fig9 reproduces Figure 9: communication energy vs network size.
-func Fig9(o Options) (Figure, error) {
-	fig, err := sweep(o, scaleXs, func(x float64, seed int64) RunConfig {
-		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5}}
-	}, func(r Result) float64 { return r.CommEnergy })
-	fig.ID, fig.Title = "9", "Energy consumed in communication vs network size"
-	fig.XLabel, fig.YLabel = "sensors", "energy (J)"
-	return fig, err
-}
-
-// Fig10 reproduces Figure 10: topology-construction energy vs network size.
-func Fig10(o Options) (Figure, error) {
-	fig, err := sweep(o, scaleXs, func(x float64, seed int64) RunConfig {
-		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5}}
-	}, func(r Result) float64 { return r.ConstructionEnergy })
-	fig.ID, fig.Title = "10", "Energy consumed in topology construction vs network size"
-	fig.XLabel, fig.YLabel = "sensors", "energy (J)"
-	return fig, err
-}
-
-// Fig11 reproduces Figure 11: total (construction + communication) energy
-// vs network size.
-func Fig11(o Options) (Figure, error) {
-	fig, err := sweep(o, scaleXs, func(x float64, seed int64) RunConfig {
-		return RunConfig{Scenario: scenario.Params{Seed: seed, Sensors: int(x), MaxSpeed: 1.5}}
-	}, func(r Result) float64 { return r.TotalEnergy() })
-	fig.ID, fig.Title = "11", "Total energy consumption vs network size"
-	fig.XLabel, fig.YLabel = "sensors", "energy (J)"
-	return fig, err
-}
-
-// AllFigures regenerates every evaluation figure.
+// AllFigures regenerates every paper evaluation figure (4–11).
 func AllFigures(o Options) ([]Figure, error) {
-	builders := []func(Options) (Figure, error){
-		Fig4, Fig5, Fig6, Fig7, Fig8, Fig9, Fig10, Fig11,
-	}
-	figs := make([]Figure, 0, len(builders))
-	for _, b := range builders {
-		fig, err := b(o)
+	return AllFiguresContext(context.Background(), o)
+}
+
+// AllFiguresContext regenerates every paper figure in registry order,
+// stopping at the first failed or cancelled sweep.
+func AllFiguresContext(ctx context.Context, o Options) ([]Figure, error) {
+	var figs []Figure
+	for _, spec := range Figures() {
+		if spec.Kind != KindPaper {
+			continue
+		}
+		fig, err := spec.Build(ctx, o)
 		if err != nil {
 			return nil, err
 		}

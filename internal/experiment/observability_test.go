@@ -1,0 +1,316 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"refer/internal/scenario"
+	"refer/internal/trace"
+)
+
+// traceCfg is a run whose measurement window covers every packet: warmup is
+// a token 1 ms (zero would trigger the 100 s default) and the window ends
+// after the last burst's packets have either arrived or been dropped, so
+// the collector and the tracer see the exact same packet population.
+func traceCfg(system string, seed int64) RunConfig {
+	return RunConfig{
+		System:     system,
+		Scenario:   scenario.Params{Seed: seed, Sensors: 150, MaxSpeed: 1},
+		Warmup:     time.Millisecond,
+		Duration:   95 * time.Second,
+		FaultCount: 8,
+	}
+}
+
+// TestTraceMatchesCollector reconciles the two independent packet ledgers:
+// the metrics collector (driving the figures) and the trace recorder
+// (driving observability) must agree packet for packet on the systems that
+// record traces.
+func TestTraceMatchesCollector(t *testing.T) {
+	for _, sys := range []string{SystemREFER, SystemKautzOverlay} {
+		sys := sys
+		t.Run(sys, func(t *testing.T) {
+			t.Parallel()
+			cfg := traceCfg(sys, 7)
+			cfg.Trace = trace.NewRecorder(1)
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg.Trace.Counts()
+			if c.Injected == 0 {
+				t.Fatal("no packets traced")
+			}
+			if int(c.Injected) != res.Created {
+				t.Fatalf("trace injected %d != collector created %d", c.Injected, res.Created)
+			}
+			if int(c.Delivered) != res.Delivered {
+				t.Fatalf("trace delivered %d != collector delivered %d", c.Delivered, res.Delivered)
+			}
+			if int(c.Dropped) != res.Dropped {
+				t.Fatalf("trace dropped %d != collector dropped %d", c.Dropped, res.Dropped)
+			}
+			if c.Injected != c.Delivered+c.Dropped {
+				t.Fatalf("unbalanced ledger: injected %d, delivered %d + dropped %d",
+					c.Injected, c.Delivered, c.Dropped)
+			}
+			if res.Stats.Trace != c {
+				t.Fatalf("Result.Stats.Trace %+v != recorder counts %+v", res.Stats.Trace, c)
+			}
+			// sampleEvery=1 stores every packet's lifecycle; each starts
+			// with an Inject event and ends with Deliver or Drop.
+			events := cfg.Trace.Events()
+			injects, finals := 0, 0
+			for _, ev := range events {
+				switch ev.Kind {
+				case trace.Inject:
+					injects++
+				case trace.Deliver, trace.Drop:
+					finals++
+				}
+			}
+			if uint64(injects) != c.Injected || uint64(finals) != c.Injected {
+				t.Fatalf("event stream: %d injects, %d finals, want %d each",
+					injects, finals, c.Injected)
+			}
+			if c.RadioSends == 0 || c.Hops == 0 {
+				t.Fatalf("no radio/hop activity recorded: %+v", c)
+			}
+		})
+	}
+}
+
+// TestTraceSamplingKeepsLedgerExact checks a sampled recorder stores fewer
+// events but identical counts.
+func TestTraceSamplingKeepsLedgerExact(t *testing.T) {
+	exact := traceCfg(SystemREFER, 7)
+	exact.Trace = trace.NewRecorder(1)
+	if _, err := Run(exact); err != nil {
+		t.Fatal(err)
+	}
+	sampled := traceCfg(SystemREFER, 7)
+	sampled.Trace = trace.NewRecorder(10)
+	if _, err := Run(sampled); err != nil {
+		t.Fatal(err)
+	}
+	if exact.Trace.Counts() != sampled.Trace.Counts() {
+		t.Fatalf("sampling changed counts:\nexact   %+v\nsampled %+v",
+			exact.Trace.Counts(), sampled.Trace.Counts())
+	}
+	if le, ls := len(exact.Trace.Events()), len(sampled.Trace.Events()); ls == 0 || ls >= le {
+		t.Fatalf("sampled events %d, exact %d — sampling had no effect", ls, le)
+	}
+}
+
+// TestRunStatsPopulated checks the stats block carries the run's DES and
+// protocol counters.
+func TestRunStatsPopulated(t *testing.T) {
+	res, err := Run(quickCfg(SystemREFER, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.DESEvents == 0 || st.WallClock <= 0 || st.EventsPerSec <= 0 {
+		t.Fatalf("host/DES stats empty: %+v", st)
+	}
+	if st.SimTime != 20*time.Second+60*time.Second+2*time.Second {
+		t.Fatalf("SimTime = %v", st.SimTime)
+	}
+	if st.RouteTableHits == 0 {
+		t.Fatalf("REFER run recorded no route-table hits: %+v", st)
+	}
+	if st.CommEnergy != res.CommEnergy || st.ConstructionEnergy != res.ConstructionEnergy {
+		t.Fatalf("stats energy diverges from result: %+v vs %+v", st, res)
+	}
+	if st.Trace != (trace.Counts{}) {
+		t.Fatalf("untraced run has trace counts: %+v", st.Trace)
+	}
+}
+
+// TestRunContextPreCancelled returns immediately with ctx.Err().
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, quickCfg(SystemREFER, 1)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelsMidRun aborts a long simulation promptly once the
+// deadline passes: the DES loop checks ctx every batch.
+func TestRunContextCancelsMidRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	cfg := RunConfig{
+		System:   SystemREFER,
+		Scenario: scenario.Params{Seed: 1, Sensors: 300, MaxSpeed: 2},
+		Warmup:   100 * time.Second,
+		Duration: 5000 * time.Second,
+	}
+	start := time.Now()
+	_, err := RunContext(ctx, cfg)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: the run would take far longer uncancelled; the check
+	// only needs to prove the loop noticed the deadline between batches.
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestSweepProgressCoversAllRuns checks the callback fires once per run
+// with consistent bookkeeping and the owning figure's registry ID.
+func TestSweepProgressCoversAllRuns(t *testing.T) {
+	var events []ProgressEvent
+	o := Options{
+		Seeds:       []int64{1, 2},
+		Warmup:      15 * time.Second,
+		Duration:    30 * time.Second,
+		Systems:     []string{SystemREFER},
+		Sensors:     120,
+		TraceSample: 50,
+		Progress:    func(ev ProgressEvent) { events = append(events, ev) },
+	}
+	fig, err := Fig7(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(o.Systems) * 5 * len(o.Seeds) // faultXs has 5 positions
+	if len(events) != total {
+		t.Fatalf("progress events = %d, want %d", len(events), total)
+	}
+	for i, ev := range events {
+		if ev.FigureID != "7" {
+			t.Fatalf("event %d FigureID = %q", i, ev.FigureID)
+		}
+		if ev.Done != i+1 || ev.Total != total {
+			t.Fatalf("event %d: Done=%d Total=%d", i, ev.Done, ev.Total)
+		}
+		if ev.Err != nil {
+			t.Fatalf("event %d unexpected error: %v", i, ev.Err)
+		}
+		if ev.System != SystemREFER {
+			t.Fatalf("event %d system = %q", i, ev.System)
+		}
+	}
+	if fig.Stats.Runs != total {
+		t.Fatalf("SweepStats.Runs = %d, want %d", fig.Stats.Runs, total)
+	}
+	if fig.Stats.DESEvents == 0 || fig.Stats.WallClock <= 0 {
+		t.Fatalf("sweep stats empty: %+v", fig.Stats)
+	}
+	if fig.Stats.Trace.Injected == 0 {
+		t.Fatalf("TraceSample did not aggregate trace counts: %+v", fig.Stats.Trace)
+	}
+}
+
+// TestSweepErrorIncludesRunConfig checks a failing run's system, seed and
+// sweep position survive into the aggregated error.
+func TestSweepErrorIncludesRunConfig(t *testing.T) {
+	o := Options{
+		Seeds:    []int64{9},
+		Warmup:   10 * time.Second,
+		Duration: 10 * time.Second,
+		Systems:  []string{"not-a-system"},
+	}
+	_, err := Fig4(o)
+	if err == nil {
+		t.Fatal("sweep swallowed the error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"not-a-system", "seed=9", "x="} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestSweepCancelledReturnsCtxErr cancels a sweep up front: no runs execute
+// and the context error is reported.
+func TestSweepCancelledReturnsCtxErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	o := Options{
+		Seeds:    []int64{1},
+		Warmup:   10 * time.Second,
+		Duration: 10 * time.Second,
+		Systems:  []string{SystemREFER},
+		Progress: func(ProgressEvent) { ran++ },
+	}
+	spec, ok := FigureByID("4")
+	if !ok {
+		t.Fatal("figure 4 not registered")
+	}
+	if _, err := spec.Build(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d runs executed after cancellation", ran)
+	}
+}
+
+// TestRegistryContents pins the registry: stable IDs, unique, correctly
+// classified, and resolvable via FigureByID.
+func TestRegistryContents(t *testing.T) {
+	specs := Figures()
+	wantKinds := map[string]FigureKind{
+		"4": KindPaper, "5": KindPaper, "6": KindPaper, "7": KindPaper,
+		"8": KindPaper, "9": KindPaper, "10": KindPaper, "11": KindPaper,
+		"A1": KindAblation, "A2": KindAblation,
+		"E1": KindExtension, "E2": KindExtension, "E3": KindExtension,
+	}
+	if len(specs) != len(wantKinds) {
+		t.Fatalf("registry has %d entries, want %d", len(specs), len(wantKinds))
+	}
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		if seen[spec.ID] {
+			t.Fatalf("duplicate figure ID %q", spec.ID)
+		}
+		seen[spec.ID] = true
+		kind, ok := wantKinds[spec.ID]
+		if !ok {
+			t.Fatalf("unexpected figure %q", spec.ID)
+		}
+		if spec.Kind != kind {
+			t.Fatalf("figure %q kind = %v, want %v", spec.ID, spec.Kind, kind)
+		}
+		if spec.Title == "" || spec.Build == nil {
+			t.Fatalf("figure %q incomplete: %+v", spec.ID, spec)
+		}
+		byID, ok := FigureByID(spec.ID)
+		if !ok || byID.ID != spec.ID {
+			t.Fatalf("FigureByID(%q) failed", spec.ID)
+		}
+	}
+	if _, ok := FigureByID("999"); ok {
+		t.Fatal("FigureByID invented a figure")
+	}
+	if KindPaper.String() != "paper" || KindAblation.String() != "ablation" || KindExtension.String() != "extension" {
+		t.Fatal("FigureKind.String")
+	}
+}
+
+// TestRegistryStampsFigure checks the registry wrapper stamps ID and Title
+// onto the built figure.
+func TestRegistryStampsFigure(t *testing.T) {
+	spec, _ := FigureByID("A1")
+	fig, err := spec.Build(context.Background(), Options{
+		Seeds:    []int64{1},
+		Warmup:   15 * time.Second,
+		Duration: 30 * time.Second,
+		Sensors:  120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "A1" || fig.Title != spec.Title {
+		t.Fatalf("figure not stamped: ID=%q Title=%q", fig.ID, fig.Title)
+	}
+}

@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+)
+
+// FigureKind classifies a registry entry.
+type FigureKind int
+
+const (
+	// KindPaper marks Figures 4–11, the paper's own evaluation.
+	KindPaper FigureKind = iota + 1
+	// KindAblation marks the REFER component ablations (A1, A2).
+	KindAblation
+	// KindExtension marks the future-work extension studies (E1–E3).
+	KindExtension
+)
+
+// String returns the kind's lower-case name.
+func (k FigureKind) String() string {
+	switch k {
+	case KindPaper:
+		return "paper"
+	case KindAblation:
+		return "ablation"
+	case KindExtension:
+		return "extension"
+	default:
+		return fmt.Sprintf("FigureKind(%d)", int(k))
+	}
+}
+
+// FigureSpec is one registered figure: a stable ID, a display title, a
+// kind, and a context-aware builder. Build stamps the figure's ID and
+// Title, labels progress events with the ID, and honors ctx cancellation.
+type FigureSpec struct {
+	ID    string
+	Title string
+	Kind  FigureKind
+	Build func(ctx context.Context, o Options) (Figure, error)
+}
+
+// registry lists every figure in presentation order: the paper's Figures
+// 4–11, then ablations, then extensions.
+var registry = []FigureSpec{
+	newSpec("4", "QoS throughput vs node mobility", KindPaper,
+		func(ctx context.Context, o Options) (Figure, error) {
+			fig, err := mobilitySweep(ctx, o, func(r Result) float64 { return r.Throughput })
+			fig.YLabel = "throughput (pkt/s)"
+			return fig, err
+		}),
+	newSpec("5", "Energy consumed in communication vs node mobility", KindPaper,
+		func(ctx context.Context, o Options) (Figure, error) {
+			fig, err := mobilitySweep(ctx, o, func(r Result) float64 { return r.CommEnergy })
+			fig.YLabel = "energy (J)"
+			return fig, err
+		}),
+	newSpec("6", "Transmission delay vs number of faulty nodes", KindPaper,
+		func(ctx context.Context, o Options) (Figure, error) {
+			fig, err := faultSweep(ctx, o, func(r Result) float64 { return r.MeanQoSDelay.Seconds() * 1000 })
+			fig.YLabel = "delay (ms)"
+			return fig, err
+		}),
+	newSpec("7", "QoS throughput vs number of faulty nodes", KindPaper,
+		func(ctx context.Context, o Options) (Figure, error) {
+			fig, err := faultSweep(ctx, o, func(r Result) float64 { return r.Throughput })
+			fig.YLabel = "throughput (pkt/s)"
+			return fig, err
+		}),
+	newSpec("8", "Transmission delay vs network size", KindPaper,
+		func(ctx context.Context, o Options) (Figure, error) {
+			fig, err := scaleSweep(ctx, o, func(r Result) float64 { return r.MeanQoSDelay.Seconds() * 1000 })
+			fig.YLabel = "delay (ms)"
+			return fig, err
+		}),
+	newSpec("9", "Energy consumed in communication vs network size", KindPaper,
+		func(ctx context.Context, o Options) (Figure, error) {
+			fig, err := scaleSweep(ctx, o, func(r Result) float64 { return r.CommEnergy })
+			fig.YLabel = "energy (J)"
+			return fig, err
+		}),
+	newSpec("10", "Energy consumed in topology construction vs network size", KindPaper,
+		func(ctx context.Context, o Options) (Figure, error) {
+			fig, err := scaleSweep(ctx, o, func(r Result) float64 { return r.ConstructionEnergy })
+			fig.YLabel = "energy (J)"
+			return fig, err
+		}),
+	newSpec("11", "Total energy consumption vs network size", KindPaper,
+		func(ctx context.Context, o Options) (Figure, error) {
+			fig, err := scaleSweep(ctx, o, func(r Result) float64 { return r.TotalEnergy() })
+			fig.YLabel = "energy (J)"
+			return fig, err
+		}),
+	newSpec("A1", "Ablation: Theorem 3.8 failover under faults", KindAblation, ablationFailover),
+	newSpec("A2", "Ablation: topology maintenance under mobility", KindAblation, ablationMaintenance),
+	newSpec("E1", "Extension: QoS throughput in sparse deployments", KindExtension, extSparse),
+	newSpec("E2", "Extension: delivery ratio in sparse deployments", KindExtension, extSparseDeliveryRatio),
+	newSpec("E3", "Extension: K(2,3) vs K(3,3) cells under faults", KindExtension, extDegree),
+}
+
+// newSpec wraps a builder so the spec's ID labels progress events and the
+// returned figure carries the registered ID and title.
+func newSpec(id, title string, kind FigureKind, build func(context.Context, Options) (Figure, error)) FigureSpec {
+	return FigureSpec{
+		ID:    id,
+		Title: title,
+		Kind:  kind,
+		Build: func(ctx context.Context, o Options) (Figure, error) {
+			o.figureID = id
+			fig, err := build(ctx, o)
+			fig.ID, fig.Title = id, title
+			return fig, err
+		},
+	}
+}
+
+// Figures returns every registered figure in presentation order. The slice
+// is a copy; callers may reorder or filter it freely.
+func Figures() []FigureSpec {
+	return append([]FigureSpec(nil), registry...)
+}
+
+// FigureByID looks up a registered figure by its ID (e.g. "7", "A1", "E2").
+func FigureByID(id string) (FigureSpec, bool) {
+	for _, spec := range registry {
+		if spec.ID == id {
+			return spec, true
+		}
+	}
+	return FigureSpec{}, false
+}
+
+// buildByID runs a registered figure's builder; the exported FigN-style
+// wrappers delegate here.
+func buildByID(ctx context.Context, id string, o Options) (Figure, error) {
+	spec, ok := FigureByID(id)
+	if !ok {
+		return Figure{}, fmt.Errorf("experiment: unknown figure %q", id)
+	}
+	return spec.Build(ctx, o)
+}
+
+// Fig4 reproduces Figure 4: QoS throughput vs node mobility.
+func Fig4(o Options) (Figure, error) { return buildByID(context.Background(), "4", o) }
+
+// Fig5 reproduces Figure 5: communication energy vs node mobility.
+func Fig5(o Options) (Figure, error) { return buildByID(context.Background(), "5", o) }
+
+// Fig6 reproduces Figure 6: transmission delay vs number of faulty nodes.
+func Fig6(o Options) (Figure, error) { return buildByID(context.Background(), "6", o) }
+
+// Fig7 reproduces Figure 7: QoS throughput vs number of faulty nodes.
+func Fig7(o Options) (Figure, error) { return buildByID(context.Background(), "7", o) }
+
+// Fig8 reproduces Figure 8: transmission delay vs network size.
+func Fig8(o Options) (Figure, error) { return buildByID(context.Background(), "8", o) }
+
+// Fig9 reproduces Figure 9: communication energy vs network size.
+func Fig9(o Options) (Figure, error) { return buildByID(context.Background(), "9", o) }
+
+// Fig10 reproduces Figure 10: topology-construction energy vs network size.
+func Fig10(o Options) (Figure, error) { return buildByID(context.Background(), "10", o) }
+
+// Fig11 reproduces Figure 11: total (construction + communication) energy
+// vs network size.
+func Fig11(o Options) (Figure, error) { return buildByID(context.Background(), "11", o) }

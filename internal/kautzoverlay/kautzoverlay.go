@@ -18,6 +18,7 @@ import (
 	"refer/internal/energy"
 	"refer/internal/kautz"
 	"refer/internal/manet"
+	"refer/internal/trace"
 	"refer/internal/world"
 )
 
@@ -203,8 +204,12 @@ func (s *System) Build() error {
 // Inject routes one packet from src to the overlay ID of its physically
 // nearest actuator using the Theorem 3.8 protocol over multi-hop links.
 func (s *System) Inject(src world.NodeID, done func(ok bool)) {
+	p := s.w.Tracer().PacketInject(s.w.Now(), int32(src))
 	finish := func(ok bool) {
-		if !ok {
+		if ok {
+			p.Deliver(s.w.Now())
+		} else {
+			p.Drop(s.w.Now())
 			s.stats.Drops++
 		}
 		if done != nil {
@@ -237,11 +242,12 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 				finish(false)
 				return
 			}
-			s.route(entry, dstKID, s.cfg.HopBudget, finish)
+			p.Hop(s.w.Now(), int32(src), int32(entry), 0)
+			s.route(entry, dstKID, s.cfg.HopBudget, p, finish)
 		})
 		return
 	}
-	s.route(entry, dstKID, s.cfg.HopBudget, finish)
+	s.route(entry, dstKID, s.cfg.HopBudget, p, finish)
 }
 
 // nearestMember returns the nearest alive overlay member in radio range.
@@ -267,7 +273,7 @@ func (s *System) nearestMember(src world.NodeID) world.NodeID {
 }
 
 // route performs one overlay routing step at node at toward dstKID.
-func (s *System) route(at world.NodeID, dstKID kautz.ID, budget int, done func(ok bool)) {
+func (s *System) route(at world.NodeID, dstKID kautz.ID, budget int, p trace.Packet, done func(ok bool)) {
 	atKID, ok := s.kidOf[at]
 	if !ok {
 		done(false)
@@ -286,7 +292,7 @@ func (s *System) route(at world.NodeID, dstKID kautz.ID, budget int, done func(o
 		done(false)
 		return
 	}
-	s.tryRoutes(at, dstKID, routes, 0, budget, done)
+	s.tryRoutes(at, dstKID, routes, 0, budget, p, done)
 }
 
 // routesFor returns the Theorem 3.8 route set for the ordered pair, served
@@ -306,15 +312,17 @@ func (s *System) routesFor(u, v kautz.ID) ([]kautz.Route, error) {
 // countFailoverSwitch records one Theorem 3.8 failover decision, counted
 // exactly once per abandoned path and only when an alternate disjoint path
 // actually remains — the same invariant REFER's intra-cell router keeps.
-func (s *System) countFailoverSwitch(routes []kautz.Route, idx int) {
+// The decision is also emitted as a trace event when the run is traced.
+func (s *System) countFailoverSwitch(p trace.Packet, at world.NodeID, routes []kautz.Route, idx int) {
 	if idx+1 < len(routes) {
 		s.stats.FailoverSwitches++
+		p.FailoverSwitch(s.w.Now(), int32(at), int8(routes[idx].Class))
 	}
 }
 
 // tryRoutes walks the ranked Theorem 3.8 successors; each overlay hop rides
 // the stored physical path, rebuilt by flooding when broken.
-func (s *System) tryRoutes(at world.NodeID, dstKID kautz.ID, routes []kautz.Route, idx, budget int, done func(ok bool)) {
+func (s *System) tryRoutes(at world.NodeID, dstKID kautz.ID, routes []kautz.Route, idx, budget int, p trace.Packet, done func(ok bool)) {
 	if idx >= len(routes) {
 		done(false)
 		return
@@ -323,17 +331,18 @@ func (s *System) tryRoutes(at world.NodeID, dstKID kautz.ID, routes []kautz.Rout
 	succ := routes[idx].Successor
 	next, ok := s.nodeOf[succ]
 	if !ok || !s.w.Node(next).Alive() {
-		s.countFailoverSwitch(routes, idx)
-		s.tryRoutes(at, dstKID, routes, idx+1, budget, done)
+		s.countFailoverSwitch(p, at, routes, idx)
+		s.tryRoutes(at, dstKID, routes, idx+1, budget, p, done)
 		return
 	}
 	s.overlayHop(atKID, succ, at, next, true, func(delivered bool) {
 		if delivered {
-			s.route(next, dstKID, budget-1, done)
+			p.Hop(s.w.Now(), int32(at), int32(next), int8(routes[idx].Class))
+			s.route(next, dstKID, budget-1, p, done)
 			return
 		}
-		s.countFailoverSwitch(routes, idx)
-		s.tryRoutes(at, dstKID, routes, idx+1, budget, done)
+		s.countFailoverSwitch(p, at, routes, idx)
+		s.tryRoutes(at, dstKID, routes, idx+1, budget, p, done)
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"refer/internal/geo"
 	"refer/internal/kautz"
 	"refer/internal/scenario"
+	"refer/internal/trace"
 	"refer/internal/world"
 )
 
@@ -319,14 +320,14 @@ func TestRouteBudgetExhaustion(t *testing.T) {
 		}
 	}
 	var got *bool
-	s.route(s.nodeOf[kidA], kidB, 0, func(ok bool) { got = &ok })
+	s.route(s.nodeOf[kidA], kidB, 0, trace.Packet{}, func(ok bool) { got = &ok })
 	w.Sched.Run()
 	if got == nil || *got {
 		t.Fatal("zero budget should drop")
 	}
 	// At the destination it succeeds regardless of budget.
 	delivered := false
-	s.route(s.nodeOf[kidA], kidA, 0, func(ok bool) { delivered = ok })
+	s.route(s.nodeOf[kidA], kidA, 0, trace.Packet{}, func(ok bool) { delivered = ok })
 	if !delivered {
 		t.Fatal("route to self should succeed")
 	}
@@ -351,7 +352,7 @@ func TestNonMemberCannotRoute(t *testing.T) {
 		anyKID = k
 		break
 	}
-	s.route(plain, anyKID, 5, func(ok bool) { got = &ok })
+	s.route(plain, anyKID, 5, trace.Packet{}, func(ok bool) { got = &ok })
 	w.Sched.Run()
 	if got == nil || *got {
 		t.Fatal("non-member routing should fail")

@@ -127,9 +127,9 @@ func (c *Collector) DeliveryRatio() float64 {
 // Summary is a set of independent samples of one metric (one per seed) with
 // its mean and 95 % confidence half-width.
 type Summary struct {
-	Samples []float64
-	Mean    float64
-	CI95    float64
+	Samples []float64 `json:"samples"`
+	Mean    float64   `json:"mean"`
+	CI95    float64   `json:"ci95"`
 }
 
 // Summarize computes the mean and 95 % confidence interval half-width of

@@ -1,0 +1,279 @@
+// Package trace is the simulator's per-run observability layer: a
+// low-overhead recorder of packet lifecycle events (inject → hop →
+// failover-switch → drop/deliver) plus aggregate radio counters.
+//
+// The paper's claims live on per-packet behaviour — Theorem 3.8 failover
+// under faults, QoS-deadline delivery, energy per route — but a figure only
+// shows the aggregate. A trace explains *why* a figure moved: which relay
+// switched paths, where a packet died, how many overlay hops a delivery
+// took.
+//
+// Tracing is strictly opt-in. Every method is safe on a nil *Recorder and
+// on the zero Packet, compiling down to a single pointer check, so the
+// forwarding hot path pays nothing when tracing is disabled — a guarantee
+// pinned by TestDisabledTraceNoAllocs and the trace benchmarks.
+//
+// A Recorder belongs to one simulation run. The discrete-event simulator is
+// single-threaded, so the Recorder is deliberately unsynchronized; parallel
+// sweeps attach one Recorder per run.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind classifies a packet lifecycle event.
+type Kind uint8
+
+const (
+	// Inject is the packet's creation at its source sensor.
+	Inject Kind = iota + 1
+	// Hop is one successful overlay-level forwarding step (the attachment
+	// hop from a plain sensor to its overlay entry is a Hop with Class 0).
+	Hop
+	// FailoverSwitch is one Theorem 3.8 decision: a relay abandons the
+	// recorded path class and switches to the next disjoint alternative.
+	FailoverSwitch
+	// Drop is the packet's abandonment after exhausting all alternatives.
+	Drop
+	// Deliver is the packet's arrival at an actuator. The delivering node
+	// is the last Hop's destination.
+	Deliver
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Inject:
+		return "inject"
+	case Hop:
+		return "hop"
+	case FailoverSwitch:
+		return "failover-switch"
+	case Drop:
+		return "drop"
+	case Deliver:
+		return "deliver"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// NoNode marks an unused node field of an Event.
+const NoNode int32 = -1
+
+// Event is one recorded packet lifecycle event. Node IDs are the world's
+// dense identifiers, narrowed to int32 to keep the struct at 32 bytes.
+type Event struct {
+	// At is the virtual (simulation) time of the event.
+	At time.Duration
+	// Packet identifies the packet; IDs are dense per Recorder, starting
+	// at 1 in injection order.
+	Packet uint64
+	// Node is the event's primary node: the source for Inject, the relay
+	// for Hop and FailoverSwitch, NoNode when unknown (Drop/Deliver record
+	// the outcome; the position is implied by the preceding Hop).
+	Node int32
+	// Peer is the hop destination for Hop events, NoNode otherwise.
+	Peer int32
+	// Kind classifies the event.
+	Kind Kind
+	// Class is the Theorem 3.8 path class (kautz.PathClass) of the route
+	// being taken (Hop) or abandoned (FailoverSwitch); 0 when not
+	// applicable (attachment hops, inter-cell CAN hops).
+	Class int8
+}
+
+// String renders the event as a one-line log entry.
+func (e Event) String() string {
+	switch e.Kind {
+	case Hop:
+		return fmt.Sprintf("%12v pkt %-6d hop %d -> %d (class %d)", e.At, e.Packet, e.Node, e.Peer, e.Class)
+	case FailoverSwitch:
+		return fmt.Sprintf("%12v pkt %-6d failover-switch at %d (abandoning class %d)", e.At, e.Packet, e.Node, e.Class)
+	case Inject:
+		return fmt.Sprintf("%12v pkt %-6d inject at %d", e.At, e.Packet, e.Node)
+	default:
+		return fmt.Sprintf("%12v pkt %-6d %s", e.At, e.Packet, e.Kind)
+	}
+}
+
+// Counts aggregates a run's event and radio counters. Unlike the event
+// buffer, counts are exact regardless of sampling: every packet increments
+// them, only sampled packets also store Events. Counts is comparable and
+// addable, so sweeps aggregate it across runs.
+type Counts struct {
+	// Packet lifecycle counters. Every injected packet resolves exactly
+	// once: Injected == Delivered + Dropped when the run has quiesced.
+	Injected         uint64 `json:"injected"`
+	Hops             uint64 `json:"hops"`
+	FailoverSwitches uint64 `json:"failover_switches"`
+	Delivered        uint64 `json:"delivered"`
+	Dropped          uint64 `json:"dropped"`
+
+	// Radio-layer counters, fed by the world: unicast transmissions and
+	// their outcomes, plus broadcast/flood transmissions.
+	RadioSends     uint64 `json:"radio_sends"`
+	RadioDelivered uint64 `json:"radio_delivered"`
+	RadioFailed    uint64 `json:"radio_failed"`
+	Broadcasts     uint64 `json:"broadcasts"`
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Injected += other.Injected
+	c.Hops += other.Hops
+	c.FailoverSwitches += other.FailoverSwitches
+	c.Delivered += other.Delivered
+	c.Dropped += other.Dropped
+	c.RadioSends += other.RadioSends
+	c.RadioDelivered += other.RadioDelivered
+	c.RadioFailed += other.RadioFailed
+	c.Broadcasts += other.Broadcasts
+}
+
+// Recorder collects one run's trace. The zero value is not useful; use
+// NewRecorder. All methods are no-ops on a nil receiver, so systems hold a
+// possibly-nil *Recorder and call unconditionally.
+//
+// Recorder is not safe for concurrent use: it belongs to one run of the
+// single-threaded discrete-event simulator.
+type Recorder struct {
+	sampleEvery uint64
+	nextPacket  uint64
+	events      []Event
+	counts      Counts
+}
+
+// NewRecorder creates a recorder storing the events of every sampleEvery-th
+// packet (1 records every packet; values below 1 are coerced to 1). Counts
+// are exact regardless of sampling.
+func NewRecorder(sampleEvery int) *Recorder {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Recorder{sampleEvery: uint64(sampleEvery)}
+}
+
+// Packet is a per-packet tracing handle threaded through a system's
+// forwarding path. The zero Packet (and any Packet from a nil Recorder) is
+// inert: every method is a single nil check.
+type Packet struct {
+	r    *Recorder
+	id   uint64
+	keep bool
+}
+
+// Traced reports whether this packet's events are stored (it was sampled).
+func (p Packet) Traced() bool { return p.r != nil && p.keep }
+
+// PacketInject registers a new packet injected at src and returns its
+// handle. On a nil recorder it returns the inert zero Packet.
+func (r *Recorder) PacketInject(at time.Duration, src int32) Packet {
+	if r == nil {
+		return Packet{}
+	}
+	r.nextPacket++
+	r.counts.Injected++
+	p := Packet{r: r, id: r.nextPacket, keep: (r.nextPacket-1)%r.sampleEvery == 0}
+	if p.keep {
+		r.events = append(r.events, Event{At: at, Packet: p.id, Kind: Inject, Node: src, Peer: NoNode})
+	}
+	return p
+}
+
+// Hop records one successful overlay forwarding step from from to to on a
+// Theorem 3.8 route of the given path class (0 for hops outside the Kautz
+// routing protocol, e.g. attachment or inter-cell CAN hops).
+func (p Packet) Hop(at time.Duration, from, to int32, class int8) {
+	if p.r == nil {
+		return
+	}
+	p.r.counts.Hops++
+	if p.keep {
+		p.r.events = append(p.r.events, Event{At: at, Packet: p.id, Kind: Hop, Node: from, Peer: to, Class: class})
+	}
+}
+
+// FailoverSwitch records one Theorem 3.8 failover decision at node: the
+// relay abandons the path of the given class and switches to the next
+// disjoint alternative.
+func (p Packet) FailoverSwitch(at time.Duration, node int32, class int8) {
+	if p.r == nil {
+		return
+	}
+	p.r.counts.FailoverSwitches++
+	if p.keep {
+		p.r.events = append(p.r.events, Event{At: at, Packet: p.id, Kind: FailoverSwitch, Node: node, Peer: NoNode, Class: class})
+	}
+}
+
+// Deliver records the packet's arrival at an actuator.
+func (p Packet) Deliver(at time.Duration) {
+	if p.r == nil {
+		return
+	}
+	p.r.counts.Delivered++
+	if p.keep {
+		p.r.events = append(p.r.events, Event{At: at, Packet: p.id, Kind: Deliver, Node: NoNode, Peer: NoNode})
+	}
+}
+
+// Drop records the packet's abandonment.
+func (p Packet) Drop(at time.Duration) {
+	if p.r == nil {
+		return
+	}
+	p.r.counts.Dropped++
+	if p.keep {
+		p.r.events = append(p.r.events, Event{At: at, Packet: p.id, Kind: Drop, Node: NoNode, Peer: NoNode})
+	}
+}
+
+// RadioSend counts one unicast radio transmission and its outcome. Called
+// by the world on every Send, so it must stay allocation-free.
+func (r *Recorder) RadioSend(delivered bool) {
+	if r == nil {
+		return
+	}
+	r.counts.RadioSends++
+	if delivered {
+		r.counts.RadioDelivered++
+	} else {
+		r.counts.RadioFailed++
+	}
+}
+
+// RadioBroadcast counts one broadcast (or flood rebroadcast) transmission.
+func (r *Recorder) RadioBroadcast() {
+	if r == nil {
+		return
+	}
+	r.counts.Broadcasts++
+}
+
+// Counts returns a snapshot of the exact aggregate counters.
+func (r *Recorder) Counts() Counts {
+	if r == nil {
+		return Counts{}
+	}
+	return r.counts
+}
+
+// Events returns the stored event log in record order (shared slice;
+// callers must not mutate).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Packets returns the number of packets registered so far (sampled or not).
+func (r *Recorder) Packets() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.nextPacket
+}

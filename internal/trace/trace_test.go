@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderLifecycle(t *testing.T) {
+	r := NewRecorder(1)
+	p1 := r.PacketInject(10*time.Millisecond, 3)
+	p1.Hop(12*time.Millisecond, 3, 7, 1)
+	p1.FailoverSwitch(14*time.Millisecond, 7, 1)
+	p1.Hop(16*time.Millisecond, 7, 9, 2)
+	p1.Deliver(18 * time.Millisecond)
+
+	p2 := r.PacketInject(20*time.Millisecond, 4)
+	p2.Drop(25 * time.Millisecond)
+
+	c := r.Counts()
+	want := Counts{Injected: 2, Hops: 2, FailoverSwitches: 1, Delivered: 1, Dropped: 1}
+	if c != want {
+		t.Fatalf("counts = %+v, want %+v", c, want)
+	}
+	if c.Injected != c.Delivered+c.Dropped {
+		t.Fatalf("unresolved packets: %+v", c)
+	}
+
+	evs := r.Events()
+	if len(evs) != 7 {
+		t.Fatalf("events = %d, want 7", len(evs))
+	}
+	if evs[0].Kind != Inject || evs[0].Packet != 1 || evs[0].Node != 3 {
+		t.Fatalf("first event: %+v", evs[0])
+	}
+	if evs[3].Kind != Hop || evs[3].Class != 2 || evs[3].Peer != 9 {
+		t.Fatalf("second hop: %+v", evs[3])
+	}
+	if evs[5].Kind != Inject || evs[5].Packet != 2 {
+		t.Fatalf("second packet inject: %+v", evs[5])
+	}
+	if r.Packets() != 2 {
+		t.Fatalf("packets = %d", r.Packets())
+	}
+}
+
+func TestSamplingKeepsCountsExact(t *testing.T) {
+	r := NewRecorder(3) // store packets 1, 4, 7, ...
+	const n = 10
+	for i := 0; i < n; i++ {
+		p := r.PacketInject(time.Duration(i), int32(i))
+		p.Hop(time.Duration(i), int32(i), int32(i+1), 1)
+		if i%2 == 0 {
+			p.Deliver(time.Duration(i))
+		} else {
+			p.Drop(time.Duration(i))
+		}
+	}
+	c := r.Counts()
+	if c.Injected != n || c.Hops != n || c.Delivered != 5 || c.Dropped != 5 {
+		t.Fatalf("sampled counts drifted: %+v", c)
+	}
+	// Packets 1, 4, 7, 10 are stored: 4 packets × 3 events each.
+	if got := len(r.Events()); got != 12 {
+		t.Fatalf("stored events = %d, want 12", got)
+	}
+	for _, ev := range r.Events() {
+		if (ev.Packet-1)%3 != 0 {
+			t.Fatalf("unsampled packet %d stored", ev.Packet)
+		}
+	}
+}
+
+func TestSampleEveryCoercion(t *testing.T) {
+	r := NewRecorder(0)
+	r.PacketInject(0, 1)
+	r.PacketInject(0, 2)
+	if len(r.Events()) != 2 {
+		t.Fatalf("sampleEvery 0 should record everything, got %d events", len(r.Events()))
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	p := r.PacketInject(time.Second, 1)
+	if p.Traced() {
+		t.Fatal("nil recorder produced a traced packet")
+	}
+	p.Hop(0, 1, 2, 1)
+	p.FailoverSwitch(0, 1, 1)
+	p.Deliver(0)
+	p.Drop(0)
+	r.RadioSend(true)
+	r.RadioBroadcast()
+	if r.Counts() != (Counts{}) || r.Events() != nil || r.Packets() != 0 {
+		t.Fatal("nil recorder accumulated state")
+	}
+
+	var zero Packet
+	zero.Hop(0, 1, 2, 1)
+	zero.Deliver(0)
+}
+
+// TestDisabledTraceNoAllocs pins the disabled-trace guarantee: with no
+// recorder attached, every tracing call on the forwarding path is a nil
+// check and must not allocate.
+func TestDisabledTraceNoAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		p := r.PacketInject(time.Second, 5)
+		p.Hop(time.Second, 5, 6, 1)
+		p.FailoverSwitch(time.Second, 6, 1)
+		p.Drop(time.Second)
+		p.Deliver(time.Second)
+		r.RadioSend(true)
+		r.RadioBroadcast()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestRadioCounters(t *testing.T) {
+	r := NewRecorder(1)
+	r.RadioSend(true)
+	r.RadioSend(true)
+	r.RadioSend(false)
+	r.RadioBroadcast()
+	c := r.Counts()
+	if c.RadioSends != 3 || c.RadioDelivered != 2 || c.RadioFailed != 1 || c.Broadcasts != 1 {
+		t.Fatalf("radio counts: %+v", c)
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Injected: 1, Hops: 2, FailoverSwitches: 3, Delivered: 4, Dropped: 5, RadioSends: 6, RadioDelivered: 7, RadioFailed: 8, Broadcasts: 9}
+	b := a
+	b.Add(a)
+	want := Counts{Injected: 2, Hops: 4, FailoverSwitches: 6, Delivered: 8, Dropped: 10, RadioSends: 12, RadioDelivered: 14, RadioFailed: 16, Broadcasts: 18}
+	if b != want {
+		t.Fatalf("Add: %+v, want %+v", b, want)
+	}
+}
+
+func TestKindAndEventStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Inject: "inject", Hop: "hop", FailoverSwitch: "failover-switch",
+		Drop: "drop", Deliver: "deliver", Kind(99): "Kind(99)",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", uint8(k), k.String(), want)
+		}
+	}
+	hop := Event{At: time.Second, Packet: 7, Kind: Hop, Node: 1, Peer: 2, Class: 3}
+	if s := hop.String(); !strings.Contains(s, "hop 1 -> 2") || !strings.Contains(s, "class 3") {
+		t.Fatalf("hop string: %q", s)
+	}
+	fo := Event{Kind: FailoverSwitch, Node: 4, Class: 1}
+	if s := fo.String(); !strings.Contains(s, "failover-switch at 4") {
+		t.Fatalf("failover string: %q", s)
+	}
+	inj := Event{Kind: Inject, Node: 9}
+	if s := inj.String(); !strings.Contains(s, "inject at 9") {
+		t.Fatalf("inject string: %q", s)
+	}
+	drop := Event{Kind: Drop}
+	if s := drop.String(); !strings.Contains(s, "drop") {
+		t.Fatalf("drop string: %q", s)
+	}
+}
+
+func TestPacketIDsDense(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 1; i <= 5; i++ {
+		p := r.PacketInject(0, 0)
+		if p.r == nil {
+			t.Fatal("live recorder returned inert packet")
+		}
+		wantKeep := (i-1)%2 == 0
+		if p.Traced() != wantKeep {
+			t.Fatalf("packet %d sampled = %v, want %v", i, p.Traced(), wantKeep)
+		}
+	}
+	if r.Packets() != 5 {
+		t.Fatalf("packets = %d", r.Packets())
+	}
+}

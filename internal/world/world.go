@@ -27,6 +27,7 @@ import (
 	"refer/internal/energy"
 	"refer/internal/geo"
 	"refer/internal/mobility"
+	"refer/internal/trace"
 )
 
 // NodeID identifies a node in the world. IDs are dense, starting at 0.
@@ -146,9 +147,10 @@ type World struct {
 	// protocol timers on it.
 	Sched des.Scheduler
 
-	cfg   Config
-	rng   *rand.Rand
-	nodes []*Node
+	cfg    Config
+	rng    *rand.Rand
+	nodes  []*Node
+	tracer *trace.Recorder
 
 	grid   *geo.Grid
 	gridAt time.Duration
@@ -181,6 +183,16 @@ func (w *World) Config() Config { return w.cfg }
 // Rand returns the world's deterministic random source. Systems must draw
 // all their randomness from it so runs replay identically per seed.
 func (w *World) Rand() *rand.Rand { return w.rng }
+
+// SetTracer attaches a per-run trace recorder. The world feeds it radio
+// counters and systems feed it packet lifecycle events. A nil tracer (the
+// default) disables tracing; every recording call then reduces to a nil
+// check, leaving the forwarding hot path unchanged.
+func (w *World) SetTracer(r *trace.Recorder) { w.tracer = r }
+
+// Tracer returns the attached trace recorder, or nil when tracing is off.
+// The nil value is directly usable: all trace methods no-op on it.
+func (w *World) Tracer() *trace.Recorder { return w.tracer }
 
 // Now returns the current virtual time.
 func (w *World) Now() time.Duration { return w.Sched.Now() }
@@ -353,6 +365,7 @@ func (w *World) Send(from, to NodeID, ledger energy.Ledger, onDone func(Outcome)
 		}
 	}
 	if !sender.Alive() {
+		w.tracer.RadioSend(false)
 		done(SenderFailed, w.Sched.Now())
 		return
 	}
@@ -361,10 +374,13 @@ func (w *World) Send(from, to NodeID, ledger energy.Ledger, onDone func(Outcome)
 	receiver := w.nodes[to]
 	switch {
 	case w.Distance(from, to) > w.LinkRange(from, to):
+		w.tracer.RadioSend(false)
 		done(OutOfRange, end+w.cfg.AckTimeout)
 	case !receiver.Alive():
+		w.tracer.RadioSend(false)
 		done(ReceiverFailed, end+w.cfg.AckTimeout)
 	default:
+		w.tracer.RadioSend(true)
 		receiver.Meter.ChargeRx(ledger)
 		done(Delivered, end)
 	}
@@ -378,6 +394,7 @@ func (w *World) Broadcast(from NodeID, ledger energy.Ledger, deliver func(to Nod
 	if !sender.Alive() {
 		return 0
 	}
+	w.tracer.RadioBroadcast()
 	end := w.acquireRadio(sender, w.txDelay())
 	sender.Meter.ChargeTx(ledger)
 	targets := w.AliveNeighbors(nil, from)
@@ -421,6 +438,7 @@ func (w *World) Flood(origin NodeID, ttl int, ledger energy.Ledger, visit FloodV
 		if !node.Alive() {
 			return
 		}
+		w.tracer.RadioBroadcast()
 		end := w.acquireRadio(node, w.txDelay())
 		node.Meter.ChargeTx(ledger)
 		for _, nb := range w.AliveNeighbors(nil, at) {

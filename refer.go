@@ -24,6 +24,8 @@
 package refer
 
 import (
+	"context"
+
 	"refer/internal/core"
 	"refer/internal/datree"
 	"refer/internal/ddear"
@@ -31,6 +33,7 @@ import (
 	"refer/internal/kautz"
 	"refer/internal/kautzoverlay"
 	"refer/internal/scenario"
+	"refer/internal/trace"
 	"refer/internal/world"
 )
 
@@ -147,20 +150,58 @@ func NewKautzOverlay(w *World) *kautzoverlay.System {
 // ---- Evaluation harness (Section IV) ----
 
 // RunConfig describes one simulation run (system, scenario, traffic,
-// faults, QoS deadline).
+// faults, QoS deadline, optional packet tracing).
 type RunConfig = experiment.RunConfig
 
-// Result holds one run's measurements.
+// Result holds one run's measurements and its RunStats block.
 type Result = experiment.Result
+
+// RunStats is the per-run observability block (wall clock, DES events,
+// route-table and failover counters, energy ledgers, trace counts).
+type RunStats = experiment.RunStats
 
 // Run executes one simulation.
 func Run(cfg RunConfig) (Result, error) { return experiment.Run(cfg) }
 
-// Options scales the figure sweeps (seeds, duration, systems).
+// RunContext is Run with cancellation: the simulation checks ctx between
+// event batches and aborts promptly with ctx.Err().
+func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
+	return experiment.RunContext(ctx, cfg)
+}
+
+// Options scales the figure sweeps (seeds, duration, systems, progress
+// reporting, trace sampling).
 type Options = experiment.Options
+
+// ProgressEvent reports one finished simulation run of a sweep to
+// Options.Progress.
+type ProgressEvent = experiment.ProgressEvent
 
 // Figure is a reproduced evaluation figure.
 type Figure = experiment.Figure
+
+// SweepStats aggregates the per-run stats of a figure's sweep.
+type SweepStats = experiment.SweepStats
+
+// FigureSpec is a registered figure: ID, title, kind and a context-aware
+// builder.
+type FigureSpec = experiment.FigureSpec
+
+// FigureKind classifies registry entries.
+type FigureKind = experiment.FigureKind
+
+// Figure kinds.
+const (
+	KindPaper     = experiment.KindPaper
+	KindAblation  = experiment.KindAblation
+	KindExtension = experiment.KindExtension
+)
+
+// Figures returns every registered figure in presentation order.
+func Figures() []FigureSpec { return experiment.Figures() }
+
+// FigureByID looks up a registered figure ("4"…"11", "A1", "A2", "E1"…"E3").
+func FigureByID(id string) (FigureSpec, bool) { return experiment.FigureByID(id) }
 
 // Figure generators for the paper's evaluation.
 var (
@@ -176,3 +217,24 @@ var (
 
 // AllFigures regenerates every evaluation figure.
 func AllFigures(o Options) ([]Figure, error) { return experiment.AllFigures(o) }
+
+// AllFiguresContext is AllFigures with cancellation.
+func AllFiguresContext(ctx context.Context, o Options) ([]Figure, error) {
+	return experiment.AllFiguresContext(ctx, o)
+}
+
+// ---- Packet tracing ----
+
+// TraceRecorder records one run's packet lifecycle and radio events; attach
+// it via RunConfig.Trace or sweep-wide via Options.TraceSample.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one recorded packet event.
+type TraceEvent = trace.Event
+
+// TraceCounts are the exact (unsampled) trace counters of a run.
+type TraceCounts = trace.Counts
+
+// NewTraceRecorder creates a recorder keeping every sampleEvery-th packet's
+// event stream; counts are always exact.
+func NewTraceRecorder(sampleEvery int) *TraceRecorder { return trace.NewRecorder(sampleEvery) }
