@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"refer/internal/des"
 	"refer/internal/energy"
 	"refer/internal/experiment"
 	"refer/internal/kautz"
@@ -343,3 +344,101 @@ func BenchmarkREFERInject(b *testing.B) { benchREFERInject(b, nil) }
 // full event stream; the delta against BenchmarkREFERInject is the cost of
 // opting in at sample rate 1.
 func BenchmarkREFERInjectTraced(b *testing.B) { benchREFERInject(b, NewTraceRecorder(1)) }
+
+// ---- Simulation hot-path microbenchmarks (allocation-free by contract) ----
+
+// neighborTicker builds a mobile world and returns a step function that
+// advances the virtual clock by one nanosecond (through a pooled DES event)
+// and queries the neighbor sets of a rotating node — forcing the epoch
+// cache to recompute from the spatial index on every step, exactly like the
+// forwarding hot path does between events.
+func neighborTicker(tb testing.TB, params ScenarioParams) func() {
+	tb.Helper()
+	w := BuildWorld(params)
+	ids := SensorIDs(w)
+	i := 0
+	query := func() {
+		id := ids[i%len(ids)]
+		i++
+		w.Neighbors(nil, id)
+		w.AliveNeighbors(nil, id)
+	}
+	tick := func() {
+		if _, err := w.Sched.After(time.Nanosecond, query); err != nil {
+			tb.Fatal(err)
+		}
+		w.Sched.Step()
+	}
+	// Warm every node's cache, the reusable grid, and the event pool to
+	// steady state so the measured loop sees no growth allocations.
+	for k := 0; k < 4*len(ids); k++ {
+		tick()
+	}
+	return tick
+}
+
+// BenchmarkNeighbors measures one clock-advancing neighbor-set query on the
+// default mobile deployment — the dominating per-event cost of the radio
+// model (carrier sense + broadcast targets).
+func BenchmarkNeighbors(b *testing.B) {
+	tick := neighborTicker(b, ScenarioParams{Seed: 1, Sensors: 200, MaxSpeed: 3})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick()
+	}
+}
+
+// TestNeighborsStayAllocFree pins BenchmarkNeighbors' steady state at zero
+// allocations per step, so a regression fails tests rather than silently
+// shifting the benchmark.
+func TestNeighborsStayAllocFree(t *testing.T) {
+	tick := neighborTicker(t, ScenarioParams{Seed: 1, Sensors: 200, MaxSpeed: 3})
+	if avg := testing.AllocsPerRun(200, tick); avg != 0 {
+		t.Fatalf("neighbor query allocated %.1f times per step, want 0", avg)
+	}
+}
+
+// desChurn exercises one schedule/schedule/cancel/fire cycle — the event
+// lifecycle of a protocol timer — against a scheduler whose event pool has
+// reached steady state.
+func desChurn(tb testing.TB) func() {
+	tb.Helper()
+	s := &des.Scheduler{}
+	fn := func() {}
+	churn := func() {
+		h, err := s.After(time.Microsecond, fn)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := s.After(2*time.Microsecond, fn); err != nil {
+			tb.Fatal(err)
+		}
+		h.Cancel()
+		s.Step()
+	}
+	for k := 0; k < 64; k++ {
+		churn()
+	}
+	return churn
+}
+
+// BenchmarkDESChurn measures the pooled 4-ary-heap scheduler on the
+// schedule-heavy churn pattern protocol timers produce.
+func BenchmarkDESChurn(b *testing.B) {
+	churn := desChurn(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		churn()
+	}
+}
+
+// TestDESChurnStaysAllocFree pins BenchmarkDESChurn's steady state at zero
+// allocations per cycle.
+func TestDESChurnStaysAllocFree(t *testing.T) {
+	churn := desChurn(t)
+	if avg := testing.AllocsPerRun(500, churn); avg != 0 {
+		t.Fatalf("DES churn allocated %.1f times per cycle, want 0", avg)
+	}
+}

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"refer"
+	"refer/internal/des"
+	"refer/internal/kautz"
+)
+
+// The -bench mode is the repo's perf trajectory: a fixed micro+macro suite
+// whose results are appended to the tree as BENCH_<n>.json files, one per
+// measurement session, so optimization work leaves a comparable record
+// (schema documented in EXPERIMENTS.md). The suite is deliberately small —
+// three microbenchmarks over the simulation hot paths plus one quick
+// Figure 4 sweep — so CI can afford to run it on every change.
+
+// benchSchema names the BENCH file layout; bump on incompatible change.
+const benchSchema = "refer-bench/1"
+
+// benchMicro is one testing.Benchmark result.
+type benchMicro struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchMacro is one end-to-end sweep result.
+type benchMacro struct {
+	Name         string  `json:"name"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Runs         int     `json:"runs"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchReport is the BENCH_<n>.json document.
+type benchReport struct {
+	Schema    string             `json:"schema"`
+	CreatedAt string             `json:"created_utc"`
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	CPUs      int                `json:"cpus"`
+	Micro     []benchMicro       `json:"micro"`
+	Macro     []benchMacro       `json:"macro"`
+	Baseline  map[string]float64 `json:"baseline,omitempty"`
+	Notes     string             `json:"notes,omitempty"`
+}
+
+func microResult(name string, r testing.BenchmarkResult) benchMicro {
+	return benchMicro{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// benchRouteTable measures one precomputed Theorem 3.8 route-set lookup.
+func benchRouteTable() (benchMicro, error) {
+	table, err := kautz.TableFor(2, 3)
+	if err != nil {
+		return benchMicro{}, err
+	}
+	g, err := kautz.New(2, 3)
+	if err != nil {
+		return benchMicro{}, err
+	}
+	nodes := g.Nodes()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			u := nodes[i%len(nodes)]
+			v := nodes[(i+5)%len(nodes)]
+			if u == v {
+				v = nodes[(i+6)%len(nodes)]
+			}
+			if _, ok := table.Routes(u, v); !ok {
+				b.Fatalf("table miss %s -> %s", u, v)
+			}
+		}
+	})
+	return microResult("route_table_lookup", r), nil
+}
+
+// benchNeighbors measures one clock-advancing neighbor-set query on the
+// default mobile deployment — the per-event cost of the radio model. Each
+// step moves the virtual clock one nanosecond through a pooled DES event so
+// the epoch cache must recompute from the spatial index, exactly like the
+// forwarding hot path between events.
+func benchNeighbors() benchMicro {
+	w := refer.BuildWorld(refer.ScenarioParams{Seed: 1, Sensors: 200, MaxSpeed: 3})
+	ids := refer.SensorIDs(w)
+	i := 0
+	query := func() {
+		id := ids[i%len(ids)]
+		i++
+		w.Neighbors(nil, id)
+		w.AliveNeighbors(nil, id)
+	}
+	tick := func() {
+		if _, err := w.Sched.After(time.Nanosecond, query); err != nil {
+			panic(err)
+		}
+		w.Sched.Step()
+	}
+	for k := 0; k < 4*len(ids); k++ {
+		tick() // reach allocation steady state before measuring
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			tick()
+		}
+	})
+	return microResult("neighbors_query", r)
+}
+
+// benchDESChurn measures one schedule/schedule/cancel/fire cycle on the
+// pooled 4-ary-heap scheduler — the event lifecycle of a protocol timer.
+func benchDESChurn() benchMicro {
+	s := &des.Scheduler{}
+	fn := func() {}
+	churn := func() {
+		h, err := s.After(time.Microsecond, fn)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := s.After(2*time.Microsecond, fn); err != nil {
+			panic(err)
+		}
+		h.Cancel()
+		s.Step()
+	}
+	for k := 0; k < 64; k++ {
+		churn()
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			churn()
+		}
+	})
+	return microResult("des_churn", r)
+}
+
+// benchFig4Quick runs the Figure 4 mobility sweep at quick scale (one seed,
+// short windows) and reports its wall time — the suite's end-to-end number.
+func benchFig4Quick() (benchMacro, error) {
+	fig, err := refer.Fig4(refer.Options{
+		Seeds:    []int64{1},
+		Warmup:   100 * time.Second,
+		Duration: 150 * time.Second,
+		Sensors:  150,
+	})
+	if err != nil {
+		return benchMacro{}, err
+	}
+	return benchMacro{
+		Name:         "fig4_quick",
+		WallSeconds:  fig.Stats.WallClock.Seconds(),
+		Runs:         fig.Stats.Runs,
+		EventsPerSec: fig.Stats.EventsPerSec,
+	}, nil
+}
+
+// nextBenchPath returns the first unused BENCH_<n>.json name in dir.
+func nextBenchPath(dir string) string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("%s/BENCH_%d.json", dir, n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+// runBenchSuite executes the fixed suite and writes the next BENCH_<n>.json
+// in the current directory, returning the path written.
+func runBenchSuite(quiet bool) (string, error) {
+	report := benchReport{
+		Schema:    benchSchema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	progress := func(format string, args ...any) {
+		if !quiet {
+			fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	progress("bench: route_table_lookup...\n")
+	rt, err := benchRouteTable()
+	if err != nil {
+		return "", err
+	}
+	report.Micro = append(report.Micro, rt)
+	progress("bench: neighbors_query...\n")
+	report.Micro = append(report.Micro, benchNeighbors())
+	progress("bench: des_churn...\n")
+	report.Micro = append(report.Micro, benchDESChurn())
+	progress("bench: fig4_quick...\n")
+	fig4, err := benchFig4Quick()
+	if err != nil {
+		return "", err
+	}
+	report.Macro = append(report.Macro, fig4)
+
+	path := nextBenchPath(".")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	for _, m := range report.Micro {
+		progress("bench: %-20s %12.1f ns/op  %3d allocs/op\n", m.Name, m.NsPerOp, m.AllocsPerOp)
+	}
+	for _, m := range report.Macro {
+		progress("bench: %-20s %11.2f s    %d runs  %.0f events/s\n", m.Name, m.WallSeconds, m.Runs, m.EventsPerSec)
+	}
+	return path, nil
+}

@@ -8,6 +8,7 @@
 //	refer-bench -fig 4 -fig 5   # only selected figures
 //	refer-bench -json           # machine-readable output on stdout
 //	refer-bench -trace 100      # packet tracing, sampling every 100th packet
+//	refer-bench -bench          # fixed perf suite → BENCH_<n>.json (see EXPERIMENTS.md)
 //
 // A live progress line is written to stderr while sweeps run (suppress with
 // -quiet); Ctrl-C cancels the remaining runs cleanly. -cpuprofile and
@@ -47,6 +48,7 @@ func fatal(err error) {
 
 func main() {
 	var (
+		bench      = flag.Bool("bench", false, "run the fixed perf suite and write the next BENCH_<n>.json instead of regenerating figures")
 		full       = flag.Bool("full", false, "paper-scale runs (5 seeds, 1000 s windows)")
 		seeds      = flag.Int("seeds", 0, "override the number of seeds")
 		extras     = flag.Bool("extras", false, "also run the ablation (A1, A2) and extension (E1–E3) studies")
@@ -73,6 +75,15 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *bench {
+		path, err := runBenchSuite(*quiet)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(path)
+		return
 	}
 
 	opts := refer.Options{

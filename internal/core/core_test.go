@@ -226,7 +226,8 @@ func TestRoutingFailoverOnFault(t *testing.T) {
 	// Source 021 routes toward its nearest corner; fail one mid-path sensor
 	// and verify delivery still succeeds via a disjoint path.
 	src := c.NodeByKID["021"]
-	dstKID := s.cornersByKautzDistance(c, "021")[0]
+	corners, _ := s.cornersByKautzDistance(c, "021")
+	dstKID := corners[0]
 	routes, err := kautz.Routes(2, "021", dstKID)
 	if err != nil {
 		t.Fatal(err)
@@ -442,7 +443,8 @@ func TestDisableFailoverDropsOnFirstFailure(t *testing.T) {
 	c := s.Cells()[0]
 	src := c.NodeByKID["021"]
 	// Fail the greedy shortest successor toward the first-choice corner.
-	dstKID := s.cornersByKautzDistance(c, "021")[0]
+	corners, _ := s.cornersByKautzDistance(c, "021")
+	dstKID := corners[0]
 	routes, err := kautz.Routes(2, "021", dstKID)
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,6 @@ import (
 	"refer/internal/kautz"
 	"refer/internal/trace"
 	"refer/internal/world"
-	"sort"
 )
 
 // Inject routes one sensed-data packet from src to its nearby actuator —
@@ -69,41 +68,50 @@ func (s *System) routeToCorners(c *Cell, at world.NodeID, budget int, p trace.Pa
 		done(false)
 		return
 	}
-	corners := s.cornersByKautzDistance(c, atKID)
-	s.tryCorners(c, at, corners, 0, budget, p, done)
+	corners, nc := s.cornersByKautzDistance(c, atKID)
+	s.tryCorners(c, at, corners, nc, 0, budget, p, done)
 }
 
 // cornersByKautzDistance returns the alive corner KIDs ordered by Kautz
-// distance from fromKID (ties by KID).
-func (s *System) cornersByKautzDistance(c *Cell, fromKID kautz.ID) []kautz.ID {
-	corners := make([]kautz.ID, 0, 3)
+// distance from fromKID (ties by KID), as a by-value array plus count: the
+// ranking happens at every relay of every packet, and an array passed by
+// value keeps each relay's ranking private to its in-flight continuation
+// without allocating.
+func (s *System) cornersByKautzDistance(c *Cell, fromKID kautz.ID) ([3]kautz.ID, int) {
+	var corners [3]kautz.ID
+	n := 0
 	for _, corner := range c.Corners {
 		if s.w.Node(corner).Alive() {
-			corners = append(corners, c.kidOfNode[corner])
+			corners[n] = c.kidOfNode[corner]
+			n++
 		}
 	}
-	sort.Slice(corners, func(i, j int) bool {
-		di, dj := kautz.Distance(fromKID, corners[i]), kautz.Distance(fromKID, corners[j])
-		if di != dj {
-			return di < dj
+	// Insertion sort on ≤ 3 entries; the comparator is total (ties by KID),
+	// so the order matches the previous sort.Slice exactly.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			dp, dj := kautz.Distance(fromKID, corners[j-1]), kautz.Distance(fromKID, corners[j])
+			if dp < dj || (dp == dj && corners[j-1] < corners[j]) {
+				break
+			}
+			corners[j-1], corners[j] = corners[j], corners[j-1]
 		}
-		return corners[i] < corners[j]
-	})
-	return corners
+	}
+	return corners, n
 }
 
 // tryCorners attempts the ranked corners; for each corner the Theorem 3.8
 // successor list is tried in order, and a successful hop re-enters
 // routeToCorners at the next relay.
-func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, budget int, p trace.Packet, done func(ok bool)) {
-	if ci >= len(corners) {
+func (s *System) tryCorners(c *Cell, at world.NodeID, corners [3]kautz.ID, nc, ci, budget int, p trace.Packet, done func(ok bool)) {
+	if ci >= nc {
 		done(false)
 		return
 	}
 	atKID := c.kidOfNode[at]
 	routes, err := s.routesFor(atKID, corners[ci])
 	if err != nil {
-		s.tryCorners(c, at, corners, ci+1, budget, p, done)
+		s.tryCorners(c, at, corners, nc, ci+1, budget, p, done)
 		return
 	}
 	s.shuffleEqualLength(routes)
@@ -118,7 +126,7 @@ func (s *System) tryCorners(c *Cell, at world.NodeID, corners []kautz.ID, ci, bu
 			}
 			// All disjoint paths toward this corner failed here; fall back
 			// to the next corner (still a purely local decision).
-			s.tryCorners(c, at, corners, ci+1, budget, p, done)
+			s.tryCorners(c, at, corners, nc, ci+1, budget, p, done)
 			return
 		}
 		next, ok := c.NodeByKID[routes[idx].Successor]
@@ -256,27 +264,31 @@ func (s *System) entryPoint(src world.NodeID) (world.NodeID, *Cell) {
 		}
 	}
 	// Plain sensor: attach to the nearest alive overlay member in range.
-	// The candidate scan ranges over the NodeByKID maps, so ties on distance
-	// must break on the smaller node ID — a strict < would let Go's
-	// randomized map order pick the winner and break seeded replay.
+	// Candidates come from the world's cached alive-neighbor set — the
+	// packet's own radio neighborhood — instead of a scan over every overlay
+	// member of every cell. Ties on distance break on the smaller node ID; a
+	// member sitting in several cells (a shared-corner actuator) resolves to
+	// its first cell in s.cells order, both exactly as the old full scan did.
 	best := world.NoNode
 	var bestCell *Cell
 	bestDist := 0.0
 	p := s.w.Position(src)
-	r := s.w.Node(src).Range
-	for _, c := range s.cells {
-		for _, id := range c.NodeByKID {
-			if !s.w.Node(id).Alive() {
-				continue
-			}
-			d := p.Dist(s.w.Position(id))
-			if d > r {
-				continue
-			}
-			if best == world.NoNode || d < bestDist || (d == bestDist && id < best) {
-				best, bestCell, bestDist = id, c, d
+	for _, id := range s.w.AliveNeighbors(nil, src) {
+		d := p.Dist(s.w.Position(id))
+		if best != world.NoNode && (d > bestDist || (d == bestDist && id > best)) {
+			continue
+		}
+		var cell *Cell
+		for _, c := range s.cells {
+			if _, ok := c.kidOfNode[id]; ok {
+				cell = c
+				break
 			}
 		}
+		if cell == nil {
+			continue // in range and alive, but not an overlay member
+		}
+		best, bestCell, bestDist = id, cell, d
 	}
 	return best, bestCell
 }

@@ -149,6 +149,8 @@ func (s *System) refineTrees() {
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
+			// Borrowed cache slice (see world.Neighbors): the body only
+			// reads positions and maps, so cur's slice stays valid.
 			for _, nb := range s.w.AliveNeighbors(nil, cur) {
 				if !inTree[nb] {
 					continue

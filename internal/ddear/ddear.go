@@ -198,11 +198,12 @@ func (s *System) headWithinTwoHops(id world.NodeID, isHead map[world.NodeID]bool
 
 func (s *System) directHead(id world.NodeID, isHead map[world.NodeID]bool) world.NodeID {
 	best, bestDist := world.NoNode, 0.0
+	pid := s.w.Position(id)
 	for _, nb := range s.w.Neighbors(nil, id) {
 		if !isHead[nb] {
 			continue
 		}
-		d := s.w.Distance(id, nb)
+		d := pid.Dist(s.w.Position(nb))
 		if best == world.NoNode || d < bestDist {
 			best, bestDist = nb, d
 		}
@@ -213,12 +214,17 @@ func (s *System) directHead(id world.NodeID, isHead map[world.NodeID]bool) world
 func (s *System) twoHopHead(id world.NodeID, isHead map[world.NodeID]bool) (head, relay world.NodeID) {
 	head, relay = world.NoNode, world.NoNode
 	bestDist := 0.0
+	pid := s.w.Position(id)
+	// The nested Neighbors queries borrow different nodes' cache slices
+	// (id's and nb's), so the outer iteration is never invalidated.
 	for _, nb := range s.w.Neighbors(nil, id) {
+		pnb := s.w.Position(nb)
+		dToNb := pid.Dist(pnb)
 		for _, nb2 := range s.w.Neighbors(nil, nb) {
 			if !isHead[nb2] || nb2 == id {
 				continue
 			}
-			d := s.w.Distance(id, nb) + s.w.Distance(nb, nb2)
+			d := dToNb + pnb.Dist(s.w.Position(nb2))
 			if head == world.NoNode || d < bestDist {
 				head, relay, bestDist = nb2, nb, d
 			}

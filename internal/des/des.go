@@ -4,27 +4,38 @@
 // probes, failure injection, traffic generation — is an event on this
 // queue. Determinism is guaranteed by breaking timestamp ties with a
 // monotone sequence number, so runs with the same seed replay identically.
+//
+// The queue is a concrete 4-ary min-heap over pooled event structs rather
+// than container/heap over an interface: no per-event boxing, no interface
+// method dispatch in the sift loops, and fired or cancelled events return
+// to a free list, so the steady-state schedule/fire cycle allocates
+// nothing. Execution order is a pure function of (timestamp, sequence) —
+// the heap arity and the pooling are invisible to replay.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: when one fires or is
+// cancelled it returns to the scheduler's free list and its generation is
+// bumped, which invalidates any Handle still pointing at it.
 type event struct {
-	at   time.Duration
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
+	at  time.Duration
+	seq uint64
+	fn  func()
+	gen uint32
+	idx int32 // position in the heap; -1 when not queued
 }
 
-// Handle lets a scheduled event be cancelled before it fires.
+// Handle lets a scheduled event be cancelled before it fires. The handle
+// captures the event's generation, so a handle kept past its event's firing
+// can never cancel the pooled struct's next occupant.
 type Handle struct {
-	s  *Scheduler
-	ev *event
+	s   *Scheduler
+	ev  *event
+	gen uint32
 }
 
 // Cancel prevents the event from running and removes it from the queue
@@ -34,14 +45,12 @@ type Handle struct {
 // already-cancelled event is a no-op. Cancel reports whether the event was
 // still pending.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.dead {
+	if h.s == nil || h.ev == nil || h.ev.gen != h.gen {
 		return false
 	}
-	h.ev.dead = true
-	h.ev.fn = nil
-	if h.s != nil && h.ev.idx >= 0 {
-		heap.Remove(&h.s.queue, h.ev.idx)
-	}
+	ev := h.ev
+	h.s.remove(int(ev.idx))
+	h.s.release(ev)
 	return true
 }
 
@@ -51,7 +60,8 @@ func (h Handle) Cancel() bool {
 type Scheduler struct {
 	now    time.Duration
 	seq    uint64
-	queue  eventQueue
+	heap   []*event
+	free   []*event
 	fired  uint64
 	halted bool
 }
@@ -64,7 +74,7 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events still queued. Cancelled events are
 // removed from the queue eagerly, so they never inflate the count.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return len(s.heap) }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) is an error — a simulation bug worth failing loudly on.
@@ -75,10 +85,13 @@ func (s *Scheduler) At(at time.Duration, fn func()) (Handle, error) {
 	if fn == nil {
 		return Handle{}, fmt.Errorf("des: nil event function")
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return Handle{s: s, ev: ev}, nil
+	s.push(ev)
+	return Handle{s: s, ev: ev, gen: ev.gen}, nil
 }
 
 // After schedules fn to run delay after the current time. Negative delays
@@ -97,20 +110,19 @@ func (s *Scheduler) Halt() { s.halted = true }
 // Step executes the single next event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.dead {
-			continue
-		}
-		s.now = ev.at
-		fn := ev.fn
-		ev.dead = true
-		ev.fn = nil
-		s.fired++
-		fn()
-		return true
+	if len(s.heap) == 0 {
+		return false
 	}
-	return false
+	ev := s.heap[0]
+	s.remove(0)
+	s.now = ev.at
+	fn := ev.fn
+	// Release before running: fn may schedule new events, and the freshest
+	// pool entry is the one most likely to be cache-hot.
+	s.release(ev)
+	s.fired++
+	fn()
+	return true
 }
 
 // RunUntil executes events in timestamp order until the queue is empty, the
@@ -132,8 +144,7 @@ func (s *Scheduler) RunUntilLimit(deadline time.Duration, limit int) bool {
 	s.halted = false
 	executed := 0
 	for !s.halted && (limit <= 0 || executed < limit) {
-		next, ok := s.peek()
-		if !ok || next > deadline {
+		if len(s.heap) == 0 || s.heap[0].at > deadline {
 			// The window is done: finish the clock like RunUntil.
 			if s.now < deadline {
 				s.now = deadline
@@ -146,8 +157,7 @@ func (s *Scheduler) RunUntilLimit(deadline time.Duration, limit int) bool {
 	if s.halted {
 		return false
 	}
-	next, ok := s.peek()
-	return ok && next <= deadline
+	return len(s.heap) > 0 && s.heap[0].at <= deadline
 }
 
 // Run executes events until the queue is empty or Halt is called.
@@ -157,49 +167,114 @@ func (s *Scheduler) Run() {
 	}
 }
 
-// peek returns the timestamp of the next live event.
-func (s *Scheduler) peek() (time.Duration, bool) {
-	for s.queue.Len() > 0 {
-		ev := s.queue[0]
-		if ev.dead {
-			heap.Pop(&s.queue)
-			continue
+// ---- event pool ----
+
+// alloc takes an event struct from the free list, or mints a new one when
+// the pool is dry. The pool never shrinks; its high-water mark is the
+// scheduler's peak pending count.
+func (s *Scheduler) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{idx: -1}
+}
+
+// release returns a fired or cancelled event to the pool. Bumping the
+// generation invalidates every outstanding Handle to it.
+func (s *Scheduler) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	ev.idx = -1
+	s.free = append(s.free, ev)
+}
+
+// ---- concrete 4-ary min-heap on (at, seq) ----
+//
+// A 4-ary layout halves the tree height of a binary heap; the extra
+// sibling comparisons happen on one cache line of *event pointers, which
+// is a good trade for the pop-heavy workload of a DES.
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push appends ev and restores the heap property.
+func (s *Scheduler) push(ev *event) {
+	s.heap = append(s.heap, ev)
+	ev.idx = int32(len(s.heap) - 1)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// remove deletes the event at heap position i.
+func (s *Scheduler) remove(i int) {
+	n := len(s.heap) - 1
+	ev := s.heap[i]
+	last := s.heap[n]
+	s.heap[n] = nil
+	s.heap = s.heap[:n]
+	if i < n {
+		s.heap[i] = last
+		last.idx = int32(i)
+		if !s.siftDown(i) {
+			s.siftUp(i)
 		}
-		return ev.at, true
 	}
-	return 0, false
+	ev.idx = -1
 }
 
-// eventQueue is a binary min-heap on (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// siftUp moves the event at i toward the root until its parent is not
+// larger.
+func (s *Scheduler) siftUp(i int) {
+	ev := s.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(ev, s.heap[parent]) {
+			break
+		}
+		s.heap[i] = s.heap[parent]
+		s.heap[i].idx = int32(i)
+		i = parent
 	}
-	return q[i].seq < q[j].seq
+	s.heap[i] = ev
+	ev.idx = int32(i)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1 // no longer in the heap; guards double-removal in Cancel
-	*q = old[:n-1]
-	return ev
+// siftDown moves the event at i toward the leaves until no child is
+// smaller, reporting whether it moved.
+func (s *Scheduler) siftDown(i int) bool {
+	ev := s.heap[i]
+	n := len(s.heap)
+	moved := false
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(s.heap[c], s.heap[min]) {
+				min = c
+			}
+		}
+		if !eventLess(s.heap[min], ev) {
+			break
+		}
+		s.heap[i] = s.heap[min]
+		s.heap[i].idx = int32(i)
+		i = min
+		moved = true
+	}
+	s.heap[i] = ev
+	ev.idx = int32(i)
+	return moved
 }

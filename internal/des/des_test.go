@@ -455,3 +455,91 @@ func TestRunUntilLimitHalt(t *testing.T) {
 		t.Fatalf("pending = %d, want 1", s.Pending())
 	}
 }
+
+// TestStaleHandleCannotCancelRecycledEvent pins the pool-safety guarantee:
+// after an event fires, its struct returns to the free list and may back a
+// brand-new event. A handle kept from the fired event must not cancel the
+// recycled struct's new occupant.
+func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+	var s Scheduler
+	stale, err := s.After(0, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run() // fires and releases the event struct
+
+	ran := false
+	fresh, err := s.After(time.Second, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.ev != fresh.ev {
+		t.Skip("pool did not recycle the struct; nothing to guard against")
+	}
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled the recycled event")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("recycled event did not run")
+	}
+}
+
+// TestEventPoolReuse checks the free list actually recycles: a long
+// schedule/fire churn keeps the live event population bounded by the peak
+// pending count instead of growing with the number of events.
+func TestEventPoolReuse(t *testing.T) {
+	var s Scheduler
+	fn := func() {}
+	for i := 0; i < 1000; i++ {
+		if _, err := s.After(time.Duration(i)*time.Millisecond, fn); err != nil {
+			t.Fatal(err)
+		}
+		if s.Pending() > 8 {
+			if !s.Step() {
+				t.Fatal("Step with pending events")
+			}
+		}
+	}
+	s.Run()
+	if got := len(s.free); got > 16 {
+		t.Fatalf("free list grew to %d structs; churn is not recycling", got)
+	}
+	if s.Fired() != 1000 {
+		t.Fatalf("Fired = %d, want 1000", s.Fired())
+	}
+}
+
+// TestSchedulerChurnAllocFree is the pooled-event allocation guard: a
+// steady-state schedule/cancel/fire mix must allocate nothing once the pool
+// and heap have warmed up.
+func TestSchedulerChurnAllocFree(t *testing.T) {
+	var s Scheduler
+	fn := func() {}
+	// Warm the pool and the heap slice.
+	for i := 0; i < 256; i++ {
+		if _, err := s.After(time.Duration(i)*time.Microsecond, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		keep, err := s.After(time.Duration(i%7)*time.Microsecond, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drop, err := s.After(time.Duration(i%13)*time.Microsecond, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drop.Cancel()
+		_ = keep
+		s.Step()
+		i++
+	})
+	s.Run()
+	if allocs != 0 {
+		t.Fatalf("schedule/cancel/fire churn allocates %.1f objects per op, want 0", allocs)
+	}
+}

@@ -7,7 +7,6 @@ package energy
 
 import (
 	"fmt"
-	"sync"
 )
 
 // Paper defaults (Joules per packet), Section IV.
@@ -51,11 +50,12 @@ func DefaultModel() Model {
 }
 
 // Meter tracks one node's battery. The zero value is unusable; create
-// meters through NewMeter so the initial budget is recorded. Meter is safe
-// for concurrent use (the simulator is single-threaded, but analysis
-// tooling reads meters from other goroutines).
+// meters through NewMeter so the initial budget is recorded. Meter is not
+// safe for concurrent use: each simulation run owns its meters and charges
+// them from its single event loop, and analysis tooling reads them only
+// after the run completes. Charging is on the per-packet hot path, so the
+// accessors are plain field reads.
 type Meter struct {
-	mu           sync.Mutex
 	model        Model
 	initial      float64
 	spent        float64
@@ -73,16 +73,12 @@ func NewMeter(model Model, budget float64) *Meter {
 
 // ChargeTx records the cost of transmitting one packet against the ledger.
 func (m *Meter) ChargeTx(l Ledger) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.charge(m.model.TxCost, l)
 	m.txPackets++
 }
 
 // ChargeRx records the cost of receiving one packet against the ledger.
 func (m *Meter) ChargeRx(l Ledger) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.charge(m.model.RxCost, l)
 	m.rxPackets++
 }
@@ -98,16 +94,10 @@ func (m *Meter) charge(cost float64, l Ledger) {
 }
 
 // Spent returns the total Joules consumed.
-func (m *Meter) Spent() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.spent
-}
+func (m *Meter) Spent() float64 { return m.spent }
 
 // SpentOn returns the Joules consumed against one ledger.
 func (m *Meter) SpentOn(l Ledger) float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if l == Construction {
 		return m.construction
 	}
@@ -117,8 +107,6 @@ func (m *Meter) SpentOn(l Ledger) float64 {
 // Remaining returns the battery left, or +Inf-like large budget semantics:
 // for unconstrained meters (budget <= 0) it always returns 1.
 func (m *Meter) Remaining() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.initial <= 0 {
 		return 1
 	}
@@ -132,8 +120,6 @@ func (m *Meter) Remaining() float64 {
 // Fraction returns the remaining battery as a fraction of the initial
 // budget in [0, 1]; unconstrained meters report 1.
 func (m *Meter) Fraction() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.initial <= 0 {
 		return 1
 	}
@@ -145,15 +131,7 @@ func (m *Meter) Fraction() float64 {
 }
 
 // Depleted reports whether a constrained battery has run out.
-func (m *Meter) Depleted() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.initial > 0 && m.spent >= m.initial
-}
+func (m *Meter) Depleted() bool { return m.initial > 0 && m.spent >= m.initial }
 
 // Packets returns the transmit and receive packet counts.
-func (m *Meter) Packets() (tx, rx int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.txPackets, m.rxPackets
-}
+func (m *Meter) Packets() (tx, rx int64) { return m.txPackets, m.rxPackets }

@@ -201,6 +201,13 @@ type RunStats struct {
 	RouteTableMisses int `json:"route_table_misses"`
 	// FailoverSwitches counts Theorem 3.8 alternate-path decisions.
 	FailoverSwitches int `json:"failover_switches"`
+	// GridRebuilds counts full spatial-index rebuilds; NeighborRebuilds and
+	// NeighborHits count per-node neighborhood recomputations vs queries
+	// served from the epoch cache. All three are deterministic per seed and
+	// tell a perf reader how hard the world's spatial layer worked.
+	GridRebuilds     uint64 `json:"grid_rebuilds"`
+	NeighborRebuilds uint64 `json:"neighbor_rebuilds"`
+	NeighborHits     uint64 `json:"neighbor_hits"`
 	// CommEnergy and ConstructionEnergy repeat the Result ledgers (Joules)
 	// so the stats block is self-contained for machine consumers.
 	CommEnergy         float64 `json:"comm_energy_j"`
@@ -341,10 +348,14 @@ func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
 		}
 	}
 
+	ws := w.Stats()
 	stats := RunStats{
 		WallClock:          time.Since(start),
 		SimTime:            w.Now(),
 		DESEvents:          w.Sched.Fired(),
+		GridRebuilds:       ws.GridRebuilds,
+		NeighborRebuilds:   ws.NeighborRebuilds,
+		NeighborHits:       ws.NeighborHits,
 		CommEnergy:         w.TotalEnergy(energy.Communication),
 		ConstructionEnergy: w.TotalEnergy(energy.Construction),
 		Trace:              cfg.Trace.Counts(),

@@ -4,8 +4,12 @@ import "math"
 
 // Grid is a spatial hash over a rectangular region that answers "which
 // items lie within range ρ of point p" in time proportional to the local
-// density rather than the population. The simulator rebuilds it whenever
-// node positions advance, so construction is allocation-conscious.
+// density rather than the population.
+//
+// The grid is designed to be reused across rebuilds: Reset clears every
+// bucket in place (keeping their capacity), Insert re-registers items, and
+// Move relocates a single item, so a simulator that refreshes positions on
+// an epoch never reallocates bucket storage after the first build.
 type Grid struct {
 	region Rect
 	cell   float64
@@ -14,6 +18,9 @@ type Grid struct {
 	// buckets[row*cols+col] holds item indices.
 	buckets [][]int
 	points  []Point
+	// home[i] is the bucket currently holding item i (-1 when unset),
+	// maintained so Move can evict an item without a full scan.
+	home []int
 }
 
 // NewGrid builds a grid over region with the given cell size. Items are
@@ -58,15 +65,61 @@ func (g *Grid) bucketIndex(p Point) int {
 	return row*g.cols + col
 }
 
+// CellKey returns the bucket a position hashes to, as a row-major integer.
+// Sorting items by (CellKey, index) reproduces exactly the bucket-major
+// order a freshly built grid's Within would return them in — which is how
+// the simulator keeps query results byte-identical while serving them from
+// an epoch-stale index.
+func (g *Grid) CellKey(p Point) int { return g.bucketIndex(p) }
+
+// Reset empties the grid in place: every bucket is truncated to length
+// zero but keeps its storage, so a following round of Inserts allocates
+// nothing once the grid has reached its steady-state occupancy.
+func (g *Grid) Reset() {
+	for i := range g.buckets {
+		if len(g.buckets[i]) > 0 {
+			g.buckets[i] = g.buckets[i][:0]
+		}
+	}
+	g.points = g.points[:0]
+	g.home = g.home[:0]
+}
+
 // Insert registers an item by index at position p. Indices are expected to
 // be assigned densely (0, 1, 2, …) by the caller.
 func (g *Grid) Insert(index int, p Point) {
 	for len(g.points) <= index {
 		g.points = append(g.points, Point{})
+		g.home = append(g.home, -1)
 	}
 	g.points[index] = p
 	b := g.bucketIndex(p)
 	g.buckets[b] = append(g.buckets[b], index)
+	g.home[index] = b
+}
+
+// Move relocates a registered item to position p, updating its bucket
+// incrementally. Within-bucket order is preserved for the items that stay
+// put; the moved item re-enters its (possibly new) bucket at the tail, as
+// if it had just been inserted.
+func (g *Grid) Move(index int, p Point) {
+	g.points[index] = p
+	old := g.home[index]
+	b := g.bucketIndex(p)
+	if b == old {
+		return
+	}
+	if old >= 0 {
+		bucket := g.buckets[old]
+		for i, idx := range bucket {
+			if idx == index {
+				g.buckets[old] = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+	}
+	g.buckets[b] = append(g.buckets[b], index)
+	g.home[index] = b
 }
 
 // Len returns the number of registered items.
@@ -117,14 +170,63 @@ func (g *Grid) Within(dst []int, p Point, radius float64, exclude int) []int {
 // Nearest returns the index of the registered item closest to p, excluding
 // exclude (pass -1 to keep all), or -1 when the grid is empty. Ties resolve
 // to the lowest index.
+//
+// The search spirals outward bucket ring by bucket ring from p's cell and
+// stops as soon as no unvisited ring can hold a closer item, so the cost is
+// proportional to the local density rather than the population.
 func (g *Grid) Nearest(p Point, exclude int) int {
+	if len(g.points) == 0 {
+		return -1
+	}
+	// Unclamped cell coordinates: p may lie outside the region, in which
+	// case the spiral starts from the out-of-range cell and the in-bounds
+	// window below does the clamping.
+	c0 := int(math.Floor((p.X - g.region.Min.X) / g.cell))
+	r0 := int(math.Floor((p.Y - g.region.Min.Y) / g.cell))
+	maxRing := c0
+	if v := g.cols - 1 - c0; v > maxRing {
+		maxRing = v
+	}
+	if r0 > maxRing {
+		maxRing = r0
+	}
+	if v := g.rows - 1 - r0; v > maxRing {
+		maxRing = v
+	}
 	best, bestDist := -1, math.Inf(1)
-	for idx, q := range g.points {
-		if idx == exclude {
+	scan := func(row, col int) {
+		if row < 0 || row >= g.rows || col < 0 || col >= g.cols {
+			return
+		}
+		for _, idx := range g.buckets[row*g.cols+col] {
+			if idx == exclude {
+				continue
+			}
+			// Lowest index wins exact ties: buckets are visited in ring
+			// order, not index order, so the tie must be broken explicitly.
+			if d := p.Dist(g.points[idx]); d < bestDist || (d == bestDist && idx < best) {
+				best, bestDist = idx, d
+			}
+		}
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// A cell at Chebyshev ring distance `ring` from p's cell cannot hold
+		// a point closer than (ring-1)·cell, so once the best found beats
+		// that bound the spiral is done.
+		if best != -1 && float64(ring-1)*g.cell > bestDist {
+			break
+		}
+		if ring == 0 {
+			scan(r0, c0)
 			continue
 		}
-		if d := p.Dist(q); d < bestDist || (d == bestDist && best == -1) {
-			best, bestDist = idx, d
+		for col := c0 - ring; col <= c0+ring; col++ {
+			scan(r0-ring, col)
+			scan(r0+ring, col)
+		}
+		for row := r0 - ring + 1; row <= r0+ring-1; row++ {
+			scan(row, c0-ring)
+			scan(row, c0+ring)
 		}
 	}
 	return best

@@ -251,20 +251,17 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 }
 
 // nearestMember returns the nearest alive overlay member in radio range.
-// The scan ranges over the kidOf map, so distance ties break on the smaller
-// node ID to keep seeded replay exact.
+// Candidates come from the world's cached alive-neighbor set rather than a
+// scan over the whole kidOf map; distance ties break on the smaller node ID
+// to keep seeded replay exact.
 func (s *System) nearestMember(src world.NodeID) world.NodeID {
 	best, bestDist := world.NoNode, 0.0
 	p := s.w.Position(src)
-	r := s.w.Node(src).Range
-	for id := range s.kidOf {
-		if id == src || !s.w.Node(id).Alive() {
+	for _, id := range s.w.AliveNeighbors(nil, src) {
+		if _, member := s.kidOf[id]; !member {
 			continue
 		}
 		d := p.Dist(s.w.Position(id))
-		if d > r {
-			continue
-		}
 		if best == world.NoNode || d < bestDist || (d == bestDist && id < best) {
 			best, bestDist = id, d
 		}

@@ -120,6 +120,8 @@ func bfsPath(w *world.World, src world.NodeID, ttl int, accept func(world.NodeID
 		if cur.hops >= ttl {
 			continue
 		}
+		// Borrowed cache slice: nothing in the loop body mutates the world
+		// or re-queries cur.id, so the slice stays valid for the iteration.
 		for _, nb := range w.AliveNeighbors(nil, cur.id) {
 			if _, seen := prev[nb]; seen {
 				continue

@@ -23,6 +23,17 @@ type Model interface {
 	At(t time.Duration) geo.Point
 }
 
+// SpeedBounded is implemented by models that can bound how fast they move.
+// The simulator uses the bound to quantize spatial-index rebuilds: a world
+// whose models all report 0 never rebuilds its index, and a finite bound
+// turns "rebuild on every clock advance" into "rebuild once per staleness
+// epoch" (see the world package). Models that do not implement it are
+// treated as unboundedly fast — always correct, never faster.
+type SpeedBounded interface {
+	// MaxSpeed returns an upper bound on the model's speed in m/s.
+	MaxSpeed() float64
+}
+
 // Static is an immobile node (actuators, or sensors with MaxSpeed 0).
 type Static struct {
 	P geo.Point
@@ -30,6 +41,9 @@ type Static struct {
 
 // At implements Model.
 func (s Static) At(time.Duration) geo.Point { return s.P }
+
+// MaxSpeed implements SpeedBounded: a static node never moves.
+func (s Static) MaxSpeed() float64 { return 0 }
 
 // leg is one waypoint segment of a random-waypoint itinerary.
 type leg struct {
@@ -65,6 +79,15 @@ const minLegSpeed = 1e-3
 
 // dwellTime is how long a node pauses when it draws a (near-)zero speed.
 const dwellTime = 5 * time.Second
+
+// MaxSpeed implements SpeedBounded: leg speeds are drawn uniformly from
+// [0, maxSpeed], so maxSpeed bounds the mover's displacement rate.
+func (w *Waypoint) MaxSpeed() float64 {
+	if w.maxSpeed < 0 {
+		return 0
+	}
+	return w.maxSpeed
+}
 
 // At implements Model.
 func (w *Waypoint) At(t time.Duration) geo.Point {

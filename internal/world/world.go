@@ -20,6 +20,7 @@ package world
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -130,7 +131,12 @@ type Node struct {
 	Meter *energy.Meter
 	Mob   mobility.Model
 
-	failed    bool
+	failed bool
+	// drained mirrors Meter.Depleted(). Every charge flows through the
+	// world's charge wrappers, which set it on the depletion transition (and
+	// bump aliveGen), so Alive is two flag reads on the forwarding hot path
+	// instead of a battery recomputation.
+	drained   bool
 	busyUntil time.Duration
 }
 
@@ -139,7 +145,7 @@ func (n *Node) Failed() bool { return n.failed }
 
 // Alive reports whether the node can participate in the protocol: not
 // faulty and not battery-depleted.
-func (n *Node) Alive() bool { return !n.failed && !n.Meter.Depleted() }
+func (n *Node) Alive() bool { return !n.failed && !n.drained }
 
 // World is the simulated WSAN.
 type World struct {
@@ -152,10 +158,79 @@ type World struct {
 	nodes  []*Node
 	tracer *trace.Recorder
 
-	grid   *geo.Grid
-	gridAt time.Duration
-	gridOK bool
+	// Spatial index. The grid is allocated once and rebuilt in place
+	// (Reset+Insert) only when accumulated mobility can have displaced some
+	// node by more than gridStaleTol meters — the position-staleness epoch.
+	// Queries stay exact regardless: the stale index is only a candidate
+	// generator (radii get the staleness as slack) and every candidate is
+	// re-checked against its exact position at the current virtual time.
+	grid     *geo.Grid
+	gridAt   time.Duration // virtual time the grid positions were sampled
+	gridOK   bool
+	maxSpeed float64 // max over node mobility bounds; +Inf for unknown models
+
+	// actuators is the maintained actuator index NearestActuator scans
+	// instead of the full node list.
+	actuators []NodeID
+
+	// Per-node neighbor caches, keyed by (virtual time, topoGen) with the
+	// alive subset additionally keyed by aliveGen. The buffers are owned by
+	// the world and reused, so the forwarding hot path allocates nothing.
+	caches  []nodeCache
+	topoGen uint64 // bumped by AddNode
+	// aliveGen is bumped whenever any node's Alive() can have flipped:
+	// fault injection/recovery and battery depletion through world charges.
+	aliveGen uint64
+	scratch  []int // Within candidate scratch shared across cache fills
+
+	stats Stats
 }
+
+// nodeCache holds one node's memoized neighborhood at a fixed virtual time.
+type nodeCache struct {
+	at    time.Duration
+	gen   uint64 // topoGen the entry was computed under
+	valid bool
+	// nb is the usable-link neighborhood in exactly the order a freshly
+	// rebuilt grid would return it (fresh-bucket-major, node ID within a
+	// bucket), so epoch-stale index state never leaks into results.
+	nb []NodeID
+	// key holds nb's fresh-grid bucket keys during the insertion sort.
+	key []int
+	// carrier is the carrier-sense set: every node within the owner's own
+	// transmission range, failed or not, in no particular order.
+	carrier []NodeID
+	// alive is the Alive() subset of nb, valid while aliveGen matches.
+	alive      []NodeID
+	aliveGen   uint64
+	aliveValid bool
+}
+
+// Stats counts the world's spatial-index work for observability: how often
+// the grid was actually rebuilt and how the neighbor cache performed. All
+// counters are deterministic per seed.
+type Stats struct {
+	// GridRebuilds is the number of full spatial-index rebuilds.
+	GridRebuilds uint64
+	// NeighborRebuilds counts per-node neighborhood recomputations;
+	// NeighborHits counts queries served from the cache.
+	NeighborRebuilds uint64
+	NeighborHits     uint64
+}
+
+// Stats returns a snapshot of the world's spatial-index counters.
+func (w *World) Stats() Stats { return w.stats }
+
+// gridStaleTol is the position-staleness tolerance in meters: the spatial
+// index is rebuilt only once any node can have moved this far since the
+// grid's positions were sampled. Queries add the current staleness bound to
+// their radius as slack and re-check candidates exactly, so the tolerance
+// trades rebuild frequency against candidate-set width without ever
+// changing results. 10 m is the measured sweet spot on the paper's default
+// scenario (at its 5 m/s speed cap that is one rebuild per 2 virtual
+// seconds instead of one per event); larger values save few rebuilds while
+// widening every query's candidate ring.
+const gridStaleTol = 10.0
 
 // New creates an empty world.
 func New(cfg Config) *World {
@@ -208,6 +283,21 @@ func (w *World) AddNode(kind Kind, mob mobility.Model, radioRange, battery float
 		Mob:   mob,
 	}
 	w.nodes = append(w.nodes, n)
+	w.caches = append(w.caches, nodeCache{})
+	if kind == Actuator {
+		w.actuators = append(w.actuators, n.ID)
+	}
+	// Fold the node's speed bound into the world bound. A model that cannot
+	// bound itself forces the conservative regime: rebuild on every clock
+	// advance, exactly the pre-epoch behavior.
+	if sb, ok := mob.(mobility.SpeedBounded); ok {
+		if s := sb.MaxSpeed(); s > w.maxSpeed {
+			w.maxSpeed = s
+		}
+	} else {
+		w.maxSpeed = math.Inf(1)
+	}
+	w.topoGen++
 	w.gridOK = false
 	return n
 }
@@ -251,66 +341,192 @@ func (w *World) InRange(from, to NodeID) bool {
 
 // SetFailed injects or clears a fault on a node.
 func (w *World) SetFailed(id NodeID, failed bool) {
-	w.nodes[id].failed = failed
+	n := w.nodes[id]
+	if n.failed != failed {
+		n.failed = failed
+		w.aliveGen++
+	}
 }
 
-// refreshGrid rebuilds the spatial index if positions may have moved.
+// noteDepletion folds a battery-depletion transition into aliveGen so the
+// cached alive subsets notice the node's death. Called after every charge;
+// the drained flag makes the transition fire exactly once.
+func (w *World) noteDepletion(n *Node) {
+	if !n.drained && n.Meter.Depleted() {
+		n.drained = true
+		w.aliveGen++
+	}
+}
+
+// chargeTx and chargeRx are the only paths energy leaves a meter on, so
+// depletion transitions are always observed.
+func (w *World) chargeTx(n *Node, l energy.Ledger) {
+	n.Meter.ChargeTx(l)
+	w.noteDepletion(n)
+}
+
+func (w *World) chargeRx(n *Node, l energy.Ledger) {
+	n.Meter.ChargeRx(l)
+	w.noteDepletion(n)
+}
+
+// refreshGrid (re)builds the spatial index when node positions may have
+// drifted more than gridStaleTol since the last build. Static worlds
+// (maxSpeed 0) build exactly once; mobile worlds rebuild once per staleness
+// epoch instead of once per event, reusing the grid's bucket storage.
 func (w *World) refreshGrid() {
 	now := w.Sched.Now()
-	if w.gridOK && w.gridAt == now {
-		return
+	if w.gridOK {
+		if now == w.gridAt {
+			return
+		}
+		// Ordered after the equality check: with an unbounded (+Inf) speed
+		// and zero elapsed time the product would be NaN, not zero.
+		if w.maxSpeed*(now-w.gridAt).Seconds() <= gridStaleTol {
+			return
+		}
 	}
-	cell := 50.0
-	if width := w.cfg.Region.Width(); width < 200 {
-		cell = width / 4
+	if w.grid == nil {
+		// Cell size on the order of the sensor radio range, shrunk for small
+		// regions — considering both dimensions, so a tall narrow region gets
+		// cells matched to its thin axis instead of one degenerate column.
+		cell := 50.0
+		if m := math.Min(w.cfg.Region.Width(), w.cfg.Region.Height()); m < 200 {
+			cell = m / 4
+		}
+		w.grid = geo.NewGrid(w.cfg.Region, cell)
+	} else {
+		w.grid.Reset()
 	}
-	w.grid = geo.NewGrid(w.cfg.Region, cell)
 	for _, n := range w.nodes {
 		w.grid.Insert(int(n.ID), n.Mob.At(now))
 	}
 	w.gridAt = now
 	w.gridOK = true
+	w.stats.GridRebuilds++
 }
 
-// Neighbors appends to dst the IDs of all nodes sharing a usable link with
-// from (failed nodes included — radios cannot see remote faults, protocols
-// discover them through failed sends).
-func (w *World) Neighbors(dst []NodeID, from NodeID) []NodeID {
+// querySlack bounds how far any node can have strayed from its indexed
+// position. Queries widen their radius by this much and re-check candidates
+// exactly, so results never depend on the staleness.
+func (w *World) querySlack(now time.Duration) float64 {
+	if now == w.gridAt {
+		return 0
+	}
+	return w.maxSpeed * (now - w.gridAt).Seconds()
+}
+
+// neighborCache returns from's neighborhood memoized at the current virtual
+// time, computing it if the clock or topology moved since the last query.
+//
+// The computation queries the (possibly stale) grid with slack, filters the
+// candidates against exact current positions using the same float
+// comparisons a direct query would make, and re-sorts survivors into the
+// order a freshly rebuilt grid would list them (bucket-major by the exact
+// position's cell, node ID within a cell — IDs because the rebuild inserts
+// in ID order). Results are therefore bit-identical to rebuilding the index
+// at every event, while the index is only rebuilt once per staleness epoch.
+func (w *World) neighborCache(from NodeID) *nodeCache {
 	w.refreshGrid()
-	p := w.grid.Position(int(from))
-	idxs := w.grid.Within(nil, p, w.nodes[from].Range, int(from))
-	for _, i := range idxs {
-		if p.Dist(w.grid.Position(i)) <= w.nodes[i].Range {
-			dst = append(dst, NodeID(i))
-		}
+	now := w.Sched.Now()
+	c := &w.caches[from]
+	// A fully static world (every model bounds its speed at 0) has
+	// time-invariant positions, so entries never expire by clock.
+	if c.valid && c.gen == w.topoGen && (c.at == now || w.maxSpeed == 0) {
+		w.stats.NeighborHits++
+		return c
 	}
-	return dst
+	w.stats.NeighborRebuilds++
+	n := w.nodes[from]
+	p := n.Mob.At(now)
+	w.scratch = w.grid.Within(w.scratch[:0], p, n.Range+w.querySlack(now), int(from))
+	c.carrier = c.carrier[:0]
+	c.nb = c.nb[:0]
+	c.key = c.key[:0]
+	maxR2 := n.Range * n.Range
+	for _, i := range w.scratch {
+		q := w.nodes[i].Mob.At(now)
+		dx, dy := q.X-p.X, q.Y-p.Y
+		if dx*dx+dy*dy > maxR2 {
+			continue
+		}
+		c.carrier = append(c.carrier, NodeID(i))
+		if p.Dist(q) > w.nodes[i].Range {
+			continue
+		}
+		// Insertion sort by (fresh cell key, ID); neighborhoods are small.
+		k := w.grid.CellKey(q)
+		j := len(c.nb)
+		c.nb = append(c.nb, NodeID(i))
+		c.key = append(c.key, k)
+		for j > 0 && (c.key[j-1] > k || (c.key[j-1] == k && c.nb[j-1] > NodeID(i))) {
+			c.nb[j], c.key[j] = c.nb[j-1], c.key[j-1]
+			j--
+		}
+		c.nb[j], c.key[j] = NodeID(i), k
+	}
+	c.at = now
+	c.gen = w.topoGen
+	c.valid = true
+	c.aliveValid = false
+	return c
 }
 
-// AliveNeighbors appends the IDs of in-range nodes that are alive.
-func (w *World) AliveNeighbors(dst []NodeID, from NodeID) []NodeID {
-	all := w.Neighbors(nil, from)
-	for _, id := range all {
-		if w.nodes[id].Alive() {
-			dst = append(dst, id)
-		}
+// Neighbors returns the IDs of all nodes sharing a usable link with from
+// (failed nodes included — radios cannot see remote faults, protocols
+// discover them through failed sends).
+//
+// With a nil dst the returned slice is owned by the world's per-node cache:
+// it is valid until the next same-node query at a later virtual time or
+// changed topology, and must not be mutated or retained across events. Pass
+// a non-nil dst to get an appended copy instead.
+func (w *World) Neighbors(dst []NodeID, from NodeID) []NodeID {
+	c := w.neighborCache(from)
+	if dst == nil {
+		return c.nb
 	}
-	return dst
+	return append(dst, c.nb...)
+}
+
+// AliveNeighbors returns the IDs of in-range nodes that are alive. The nil-
+// dst borrowing contract of Neighbors applies, with one more invalidation
+// trigger: any fault injection or battery depletion refreshes the subset.
+func (w *World) AliveNeighbors(dst []NodeID, from NodeID) []NodeID {
+	c := w.neighborCache(from)
+	if !c.aliveValid || c.aliveGen != w.aliveGen {
+		c.alive = c.alive[:0]
+		for _, id := range c.nb {
+			if w.nodes[id].Alive() {
+				c.alive = append(c.alive, id)
+			}
+		}
+		c.aliveGen = w.aliveGen
+		c.aliveValid = true
+	}
+	if dst == nil {
+		return c.alive
+	}
+	return append(dst, c.alive...)
 }
 
 // NearestActuator returns the closest non-failed actuator to the node, or
-// NoNode if none exists.
+// NoNode if none exists. It scans the maintained actuator index — a few
+// dozen entries — rather than the full node list. Ties resolve to the
+// lowest ID (the index is in insertion = ID order and the comparison is
+// strict), matching the world's other tie rules.
 func (w *World) NearestActuator(from NodeID) NodeID {
+	now := w.Sched.Now()
+	p := w.nodes[from].Mob.At(now)
 	best := NoNode
 	bestDist := 0.0
-	p := w.Position(from)
-	for _, n := range w.nodes {
-		if n.Kind != Actuator || !n.Alive() {
+	for _, id := range w.actuators {
+		n := w.nodes[id]
+		if !n.Alive() {
 			continue
 		}
-		d := p.Dist(n.Mob.At(w.Sched.Now()))
+		d := p.Dist(n.Mob.At(now))
 		if best == NoNode || d < bestDist {
-			best, bestDist = n.ID, d
+			best, bestDist = id, d
 		}
 	}
 	return best
@@ -337,10 +553,11 @@ func (w *World) acquireRadio(n *Node, txTime time.Duration) time.Duration {
 	}
 	end := start + txTime
 	n.busyUntil = end
-	w.refreshGrid()
-	p := w.grid.Position(int(n.ID))
-	for _, i := range w.grid.Within(nil, p, n.Range, int(n.ID)) {
-		nb := w.nodes[i]
+	// The carrier-sense set (everything inside the sender's own range,
+	// failed or not) comes from the same per-node cache as the neighbor
+	// sets, so a busy forwarding node computes it once per event.
+	for _, id := range w.neighborCache(n.ID).carrier {
+		nb := w.nodes[id]
 		if nb.busyUntil < end {
 			nb.busyUntil = end
 		}
@@ -370,7 +587,7 @@ func (w *World) Send(from, to NodeID, ledger energy.Ledger, onDone func(Outcome)
 		return
 	}
 	end := w.acquireRadio(sender, w.txDelay())
-	sender.Meter.ChargeTx(ledger)
+	w.chargeTx(sender, ledger)
 	receiver := w.nodes[to]
 	switch {
 	case w.Distance(from, to) > w.LinkRange(from, to):
@@ -381,7 +598,7 @@ func (w *World) Send(from, to NodeID, ledger energy.Ledger, onDone func(Outcome)
 		done(ReceiverFailed, end+w.cfg.AckTimeout)
 	default:
 		w.tracer.RadioSend(true)
-		receiver.Meter.ChargeRx(ledger)
+		w.chargeRx(receiver, ledger)
 		done(Delivered, end)
 	}
 }
@@ -396,11 +613,11 @@ func (w *World) Broadcast(from NodeID, ledger energy.Ledger, deliver func(to Nod
 	}
 	w.tracer.RadioBroadcast()
 	end := w.acquireRadio(sender, w.txDelay())
-	sender.Meter.ChargeTx(ledger)
+	w.chargeTx(sender, ledger)
 	targets := w.AliveNeighbors(nil, from)
 	for _, id := range targets {
 		id := id
-		w.nodes[id].Meter.ChargeRx(ledger)
+		w.chargeRx(w.nodes[id], ledger)
 		if deliver != nil {
 			if _, err := w.Sched.At(end, func() { deliver(id) }); err != nil {
 				panic(fmt.Sprintf("world: broadcast delivery: %v", err))
@@ -440,10 +657,10 @@ func (w *World) Flood(origin NodeID, ttl int, ledger energy.Ledger, visit FloodV
 		}
 		w.tracer.RadioBroadcast()
 		end := w.acquireRadio(node, w.txDelay())
-		node.Meter.ChargeTx(ledger)
+		w.chargeTx(node, ledger)
 		for _, nb := range w.AliveNeighbors(nil, at) {
 			nb := nb
-			w.nodes[nb].Meter.ChargeRx(ledger) // every copy is heard
+			w.chargeRx(w.nodes[nb], ledger) // every copy is heard
 			if seen[nb] {
 				continue
 			}
