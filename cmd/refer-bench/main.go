@@ -8,6 +8,7 @@
 //	refer-bench -fig 4 -fig 5   # only selected figures
 //	refer-bench -json           # machine-readable output on stdout
 //	refer-bench -trace 100      # packet tracing, sampling every 100th packet
+//	refer-bench -chaos f.json   # attach a fault-injection schedule to every run
 //	refer-bench -bench          # fixed perf suite → BENCH_<n>.json (see EXPERIMENTS.md)
 //
 // A live progress line is written to stderr while sweeps run (suppress with
@@ -55,6 +56,7 @@ func main() {
 		csvDir     = flag.String("csv", "", "also write each figure as <dir>/fig<ID>.csv")
 		jsonOut    = flag.Bool("json", false, "emit the figures as JSON on stdout instead of text tables")
 		traceN     = flag.Int("trace", 0, "attach packet tracing to every run, keeping every Nth packet's event stream (0 = off)")
+		chaosPath  = flag.String("chaos", "", "attach the fault-injection schedule in this JSON file to every run (see EXPERIMENTS.md)")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -95,6 +97,13 @@ func main() {
 	if *full {
 		opts.Seeds = []int64{1, 2, 3, 4, 5}
 		opts.Duration = 1000 * time.Second
+	}
+	if *chaosPath != "" {
+		sched, err := refer.LoadChaosSchedule(*chaosPath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Chaos = sched
 	}
 	if *seeds > 0 {
 		opts.Seeds = opts.Seeds[:0]

@@ -3,35 +3,58 @@
 // actuators that intercept them. The demo compares REFER against the
 // DaTree baseline under increasing node mobility — a miniature of the
 // paper's Figure 4 — using the public API only.
+//
+// -quick runs one mobility point with shorter windows; the CI smoke test
+// uses it.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"refer"
 )
 
 func main() {
-	fmt.Println("intruder reports delivered within the 0.6 s deadline (pkt/s):")
-	fmt.Printf("%-12s %-10s %-10s\n", "mean speed", "REFER", "DaTree")
-	for _, maxSpeed := range []float64{1, 3, 5} {
+	quick := flag.Bool("quick", false, "one mobility point with short windows for smoke testing")
+	flag.Parse()
+	if err := run(*quick, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(quick bool, out io.Writer) error {
+	speeds := []float64{1, 3, 5}
+	sensors := 200
+	warmup, duration := 50*time.Second, 200*time.Second
+	if quick {
+		speeds = []float64{3}
+		sensors = 150
+		warmup, duration = 20*time.Second, 60*time.Second
+	}
+	fmt.Fprintln(out, "intruder reports delivered within the 0.6 s deadline (pkt/s):")
+	fmt.Fprintf(out, "%-12s %-10s %-10s\n", "mean speed", "REFER", "DaTree")
+	for _, maxSpeed := range speeds {
 		row := make(map[string]float64, 2)
 		for _, system := range []string{refer.SystemREFER, refer.SystemDaTree} {
 			res, err := refer.Run(refer.RunConfig{
 				System:   system,
-				Scenario: refer.ScenarioParams{Seed: 11, Sensors: 200, MaxSpeed: maxSpeed},
-				Warmup:   50 * time.Second,
-				Duration: 200 * time.Second,
+				Scenario: refer.ScenarioParams{Seed: 11, Sensors: sensors, MaxSpeed: maxSpeed},
+				Warmup:   warmup,
+				Duration: duration,
 			})
 			if err != nil {
-				log.Fatalf("%s at speed %v: %v", system, maxSpeed, err)
+				return fmt.Errorf("%s at speed %v: %w", system, maxSpeed, err)
 			}
 			row[system] = res.Throughput
 		}
-		fmt.Printf("%-12.1f %-10.2f %-10.2f\n", maxSpeed/2, row[refer.SystemREFER], row[refer.SystemDaTree])
+		fmt.Fprintf(out, "%-12.1f %-10.2f %-10.2f\n", maxSpeed/2, row[refer.SystemREFER], row[refer.SystemDaTree])
 	}
-	fmt.Println("\nhigher mobility barely affects REFER (topology-consistent cells +")
-	fmt.Println("ID-only failover) while the tree baseline pays broadcast repairs.")
+	fmt.Fprintln(out, "\nhigher mobility barely affects REFER (topology-consistent cells +")
+	fmt.Fprintln(out, "ID-only failover) while the tree baseline pays broadcast repairs.")
+	return nil
 }

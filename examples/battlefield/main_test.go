@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick smoke-tests the REFER-vs-DaTree comparison in -quick mode.
+func TestRunQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(true, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REFER") || !strings.Contains(out, "DaTree") {
+		t.Fatalf("comparison table missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Fatalf("no data rows:\n%s", out)
+	}
+}

@@ -3,11 +3,17 @@
 // (actuators). The demo starts a fire that spreads across the field, burns
 // out detectors (node failures), and shows REFER's Theorem 3.8 failover
 // keeping event delivery alive while detectors keep dying.
+//
+// -quick runs a shorter fire on a smaller deployment; the CI smoke test
+// uses it.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"refer"
@@ -17,14 +23,25 @@ const (
 	fireStart  = 10 * time.Second
 	spreadStep = 20 * time.Second // the fire radius grows every step
 	spreadRate = 30.0             // meters per step
-	runFor     = 300 * time.Second
 )
 
 func main() {
-	w := refer.BuildWorld(refer.ScenarioParams{Seed: 7, Sensors: 200})
+	quick := flag.Bool("quick", false, "shorter fire on a smaller deployment for smoke testing")
+	flag.Parse()
+	if err := run(*quick, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(quick bool, out io.Writer) error {
+	sensors, runFor := 200, 300*time.Second
+	if quick {
+		sensors, runFor = 150, 120*time.Second
+	}
+	w := refer.BuildWorld(refer.ScenarioParams{Seed: 7, Sensors: sensors})
 	sys := refer.NewREFER(w)
 	if err := sys.Build(); err != nil {
-		log.Fatalf("building REFER: %v", err)
+		return fmt.Errorf("building REFER: %w", err)
 	}
 
 	// The fire ignites at the center of cell 0.
@@ -36,6 +53,7 @@ func main() {
 
 	// Every detector near the fire front raises an alarm; detectors inside
 	// the front burn out and fail.
+	var scheduleErr error
 	var spread func()
 	spread = func() {
 		if w.Now() > runFor {
@@ -60,23 +78,27 @@ func main() {
 				})
 			}
 		}
-		fmt.Printf("t=%4v fire radius %3.0f m, %3d detectors burned, %2d alarms raised\n",
+		fmt.Fprintf(out, "t=%4v fire radius %3.0f m, %3d detectors burned, %2d alarms raised\n",
 			w.Now().Round(time.Second), radius, len(burned), alarms)
 		if _, err := w.Sched.After(spreadStep, spread); err != nil {
-			log.Fatal(err)
+			scheduleErr = err
 		}
 	}
 	if _, err := w.Sched.After(fireStart, spread); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	w.Sched.RunUntil(runFor + 5*time.Second)
+	if scheduleErr != nil {
+		return scheduleErr
+	}
 
 	st := sys.Stats()
-	fmt.Printf("\nalarms delivered to sprinklers: %d (dropped %d)\n", delivered, dropped)
-	fmt.Printf("Theorem 3.8 failovers: %d, maintenance replacements: %d\n",
+	fmt.Fprintf(out, "\nalarms delivered to sprinklers: %d (dropped %d)\n", delivered, dropped)
+	fmt.Fprintf(out, "Theorem 3.8 failovers: %d, maintenance replacements: %d\n",
 		st.FailoverSwitches, st.Replacements)
 	if delivered == 0 {
-		log.Fatal("no alarm reached an actuator — the sprinklers never fired")
+		return fmt.Errorf("no alarm reached an actuator — the sprinklers never fired")
 	}
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick smoke-tests the fire scenario end to end in -quick mode:
+// the fire must burn detectors and the sprinklers must still fire.
+func TestRunQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(true, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "detectors burned") {
+		t.Fatalf("fire never spread:\n%s", out)
+	}
+	if !strings.Contains(out, "alarms delivered to sprinklers") {
+		t.Fatalf("no delivery summary:\n%s", out)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick smoke-tests the worked examples in -quick mode.
+func TestRunQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(true, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"greedy shortest", "Figure 2(a)", "failover at 0123"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFull covers the K(4,4) enumeration cross-check as well.
+func TestRunFull(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(false, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "verified against the enumerated K(4,4) arc set") {
+		t.Fatalf("cross-check not reported:\n%s", buf.String())
+	}
+}

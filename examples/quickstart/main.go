@@ -1,27 +1,44 @@
 // Quickstart: build a REFER network on the paper's default deployment,
 // inject a few sensed events, and print what happened.
+//
+// -quick runs a smaller deployment; the CI smoke test uses it.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"refer"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "smaller deployment for smoke testing")
+	flag.Parse()
+	if err := run(*quick, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(quick bool, out io.Writer) error {
 	// The paper's Section IV deployment: 5 actuators whose triangulation
 	// yields 4 Kautz cells, plus 200 sensors deployed around them.
-	w := refer.BuildWorld(refer.ScenarioParams{Seed: 42, Sensors: 200})
+	sensors := 200
+	if quick {
+		sensors = 150
+	}
+	w := refer.BuildWorld(refer.ScenarioParams{Seed: 42, Sensors: sensors})
 
 	sys := refer.NewREFER(w)
 	if err := sys.Build(); err != nil {
-		log.Fatalf("building REFER: %v", err)
+		return fmt.Errorf("building REFER: %w", err)
 	}
-	fmt.Printf("built %d cells over %d nodes\n", len(sys.Cells()), w.Len())
+	fmt.Fprintf(out, "built %d cells over %d nodes\n", len(sys.Cells()), w.Len())
 	for _, c := range sys.Cells() {
-		fmt.Printf("  cell %d: centroid %v, corners %v\n", c.CID, c.Centroid, c.Corners)
+		fmt.Fprintf(out, "  cell %d: centroid %v, corners %v\n", c.CID, c.Centroid, c.Corners)
 	}
 
 	// Inject one event from every cell's "021" overlay sensor and let the
@@ -37,14 +54,18 @@ func main() {
 			sys.Inject(src, func(ok bool) {
 				if ok {
 					delivered++
-					fmt.Printf("  event from node %d (cell %d) reached an actuator after %v\n",
+					fmt.Fprintf(out, "  event from node %d (cell %d) reached an actuator after %v\n",
 						src, c.CID, w.Now()-createdAt)
 				}
 			})
 		}
 	}); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	w.Sched.RunUntil(5 * time.Second)
-	fmt.Printf("%d/%d events delivered; stats: %+v\n", delivered, len(sys.Cells()), sys.Stats())
+	fmt.Fprintf(out, "%d/%d events delivered; stats: %+v\n", delivered, len(sys.Cells()), sys.Stats())
+	if delivered == 0 {
+		return fmt.Errorf("no event reached an actuator")
+	}
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunQuick smoke-tests the example end to end in -quick mode.
+func TestRunQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(true, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "built 4 cells") {
+		t.Fatalf("unexpected cell count:\n%s", out)
+	}
+	if !strings.Contains(out, "reached an actuator") {
+		t.Fatalf("no delivery reported:\n%s", out)
+	}
+}

@@ -1,0 +1,254 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"refer/internal/scenario"
+	"refer/internal/world"
+)
+
+// TestScheduleParse pins the JSON schema: durations parse from both Go
+// duration strings and bare numbers of seconds, and a parsed schedule
+// marshals back to an equivalent one.
+func TestScheduleParse(t *testing.T) {
+	src := `{
+		"seed": 42,
+		"events": [
+			{"kind": "churn", "at": "100s", "duration": "10m", "rate": 0.05, "downtime": 30},
+			{"kind": "blackout", "at": 300, "x": 250, "y": 250, "radius": 100, "duration": "60s"},
+			{"kind": "link-loss", "at": "200s", "probability": 0.1, "duration": "100s"},
+			{"kind": "brownout", "at": "400s", "fraction": 0.5},
+			{"kind": "actuator-kill", "at": "250s", "node": 2, "duration": "120s"},
+			{"kind": "crash", "at": "50s", "node": 7},
+			{"kind": "recover", "at": "80s", "node": 7}
+		]
+	}`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || len(s.Events) != 7 {
+		t.Fatalf("parsed seed=%d events=%d", s.Seed, len(s.Events))
+	}
+	if got := s.Events[0].Downtime.D(); got != 30*time.Second {
+		t.Fatalf("numeric downtime = %v, want 30s", got)
+	}
+	if got := s.Events[1].At.D(); got != 300*time.Second {
+		t.Fatalf("numeric at = %v, want 300s", got)
+	}
+	if got := s.Events[0].Duration.D(); got != 10*time.Minute {
+		t.Fatalf("string duration = %v, want 10m", got)
+	}
+	// Round-trip: marshal and re-parse must preserve every event.
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if back.Seed != s.Seed || len(back.Events) != len(s.Events) {
+		t.Fatalf("round-trip lost events: %+v", back)
+	}
+	for i := range s.Events {
+		if back.Events[i] != s.Events[i] {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, back.Events[i], s.Events[i])
+		}
+	}
+}
+
+// TestScheduleValidate pins the rejection of malformed events.
+func TestScheduleValidate(t *testing.T) {
+	bad := []Event{
+		{Kind: "meteor", At: 0},
+		{Kind: Churn, At: 0, Rate: 0, Duration: Duration(time.Minute), Downtime: Duration(time.Second)},
+		{Kind: Churn, At: 0, Rate: 1, Duration: 0, Downtime: Duration(time.Second)},
+		{Kind: Churn, At: 0, Rate: 1, Duration: Duration(time.Minute), Downtime: 0},
+		{Kind: Blackout, At: 0, Radius: 0},
+		{Kind: Brownout, At: 0, Fraction: 0},
+		{Kind: Brownout, At: 0, Fraction: 1.5},
+		{Kind: LinkLoss, At: 0, Probability: 1.2},
+		{Kind: Crash, At: Duration(-time.Second)},
+	}
+	for i, ev := range bad {
+		s := &Schedule{Events: []Event{ev}}
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d (%s): invalid event accepted", i, ev.Kind)
+		}
+	}
+	ok := &Schedule{Events: []Event{
+		{Kind: Crash, At: 0, Node: -3},
+		{Kind: LinkLoss, At: 0, Probability: 0},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+// chaosWorld builds a small deterministic deployment for injector tests.
+func chaosWorld(seed int64) *world.World {
+	return scenario.Build(scenario.Params{Seed: seed, Sensors: 60})
+}
+
+// torture is a schedule exercising every event kind.
+func torture() *Schedule {
+	return &Schedule{
+		Seed: 99,
+		Events: []Event{
+			{Kind: Crash, At: Duration(5 * time.Second), Node: 3, Duration: Duration(20 * time.Second)},
+			{Kind: Crash, At: Duration(6 * time.Second), Node: 11},
+			{Kind: Recover, At: Duration(40 * time.Second), Node: 11},
+			{Kind: ActuatorKill, At: Duration(10 * time.Second), Node: 1, Duration: Duration(15 * time.Second)},
+			{Kind: Blackout, At: Duration(20 * time.Second), X: 250, Y: 250, Radius: 150, Duration: Duration(30 * time.Second)},
+			{Kind: Churn, At: Duration(15 * time.Second), Rate: 0.5, Duration: Duration(60 * time.Second), Downtime: Duration(10 * time.Second)},
+			{Kind: Brownout, At: Duration(50 * time.Second), Fraction: 0.4},
+			{Kind: LinkLoss, At: Duration(30 * time.Second), Probability: 0.2, Duration: Duration(25 * time.Second)},
+		},
+	}
+}
+
+// TestAttachDeterminism pins the core guarantee: the same world seed and
+// the same schedule replay to identical fault campaigns — same applied
+// counters, same world transition counts — with the injector drawing only
+// from its own stream.
+func TestAttachDeterminism(t *testing.T) {
+	run := func() (Stats, world.Stats, time.Duration) {
+		w := chaosWorld(7)
+		inj, err := Attach(w, torture())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Sched.RunUntil(120 * time.Second)
+		return inj.Stats(), w.Stats(), w.Now()
+	}
+	s1, w1, now1 := run()
+	s2, w2, now2 := run()
+	if s1 != s2 {
+		t.Fatalf("injector stats diverged:\n first = %+v\nsecond = %+v", s1, s2)
+	}
+	if w1 != w2 {
+		t.Fatalf("world stats diverged:\n first = %+v\nsecond = %+v", w1, w2)
+	}
+	if now1 != now2 {
+		t.Fatalf("clocks diverged: %v vs %v", now1, now2)
+	}
+	if s1.Crashes == 0 || s1.ChurnCrashes == 0 || s1.ActuatorKills == 0 ||
+		s1.BlackoutNodes == 0 || s1.Brownouts == 0 || s1.LossWindows == 0 {
+		t.Fatalf("degenerate campaign, some kinds never applied: %+v", s1)
+	}
+	if s1.Recoveries == 0 {
+		t.Fatalf("no recoveries applied: %+v", s1)
+	}
+}
+
+// TestInjectorLeavesWorldStreamAlone pins the isolation property that
+// keeps non-chaos replays byte-identical: attaching and running a fault
+// campaign must not consume a single value from the world's own RNG.
+func TestInjectorLeavesWorldStreamAlone(t *testing.T) {
+	quiet := chaosWorld(7)
+	quiet.Sched.RunUntil(120 * time.Second)
+	wantNext := quiet.Rand().Int63()
+
+	noisy := chaosWorld(7)
+	if _, err := Attach(noisy, torture()); err != nil {
+		t.Fatal(err)
+	}
+	noisy.Sched.RunUntil(120 * time.Second)
+	if got := noisy.Rand().Int63(); got != wantNext {
+		t.Fatalf("fault campaign perturbed the world's random stream: next draw %d, want %d", got, wantNext)
+	}
+}
+
+// TestDrainAccounting pins the brownout energy ledger: drained Joules land
+// in the meters' drain ledgers, the world's counter matches their sum, and
+// the exact-accounting invariant holds afterwards.
+func TestDrainAccounting(t *testing.T) {
+	// Constrained batteries: the evaluation default is unconstrained
+	// (energy as metric), under which Drain is a documented no-op.
+	w := scenario.Build(scenario.Params{Seed: 3, Sensors: 60, SensorBattery: 1000})
+	s := &Schedule{Events: []Event{
+		{Kind: Brownout, At: Duration(time.Second), Fraction: 0.25},
+		{Kind: Brownout, At: Duration(2 * time.Second), Fraction: 0.5, X: 250, Y: 250, Radius: 200},
+	}}
+	inj, err := Attach(w, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Sched.RunUntil(5 * time.Second)
+	st := inj.Stats()
+	if st.Brownouts != 2 || st.DrainedJoules <= 0 {
+		t.Fatalf("brownouts not applied: %+v", st)
+	}
+	var metered float64
+	for _, n := range w.Nodes() {
+		metered += n.Meter.Drained()
+	}
+	if metered != st.DrainedJoules {
+		t.Fatalf("meters drained %v J, injector counted %v J", metered, st.DrainedJoules)
+	}
+	if ws := w.Stats().EnergyDrained; ws != st.DrainedJoules {
+		t.Fatalf("world counted %v J, injector %v J", ws, st.DrainedJoules)
+	}
+	h := NewHarness(w, nil)
+	h.Check("post-brownout")
+	if v := h.Violations(); len(v) != 0 {
+		t.Fatalf("energy invariants violated after brownout: %v", v)
+	}
+}
+
+// TestOverlapRefcount pins the downed refcount: a node covered by two
+// fault sources stays down until the last one clears.
+func TestOverlapRefcount(t *testing.T) {
+	w := chaosWorld(5)
+	inj := &Injector{w: w, downed: map[world.NodeID]int{}}
+	for _, n := range w.Nodes() {
+		if n.Kind != world.Actuator {
+			inj.sensors = append(inj.sensors, n.ID)
+		}
+	}
+	id := inj.sensors[0]
+	inj.down(id)
+	inj.down(id)
+	if w.Node(id).Alive() {
+		t.Fatal("node alive while downed")
+	}
+	inj.up(id)
+	if w.Node(id).Alive() {
+		t.Fatal("node recovered with a fault source still covering it")
+	}
+	inj.up(id)
+	if !w.Node(id).Alive() {
+		t.Fatal("node failed to recover after the last source cleared")
+	}
+	if got := inj.Stats(); got.Crashes != 1 || got.Recoveries != 1 {
+		t.Fatalf("refcount stats: %+v, want 1 crash / 1 recovery", got)
+	}
+	// A recovery without a matching source is a no-op, not an underflow.
+	inj.up(id)
+	if got := inj.Stats().Recoveries; got != 1 {
+		t.Fatalf("spurious recovery counted: %d", got)
+	}
+}
+
+// TestLinkLossWindowRestores pins the transient degradation: the loss
+// probability applies at the window start and clears at its end.
+func TestLinkLossWindowRestores(t *testing.T) {
+	w := chaosWorld(1)
+	s := &Schedule{Events: []Event{
+		{Kind: LinkLoss, At: Duration(10 * time.Second), Probability: 0.3, Duration: Duration(20 * time.Second)},
+	}}
+	if _, err := Attach(w, s); err != nil {
+		t.Fatal(err)
+	}
+	w.Sched.RunUntil(15 * time.Second)
+	if got := w.LinkLoss(); got != 0.3 {
+		t.Fatalf("mid-window loss = %v, want 0.3", got)
+	}
+	w.Sched.RunUntil(40 * time.Second)
+	if got := w.LinkLoss(); got != 0 {
+		t.Fatalf("post-window loss = %v, want 0", got)
+	}
+}

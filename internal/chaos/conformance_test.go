@@ -1,0 +1,153 @@
+// Conformance suite: every evaluated system is run under every fault
+// campaign with the invariant harness attached, checking after each fault
+// action and at run end. The test lives in package chaos_test so it can
+// build systems through the experiment registry without an import cycle
+// (experiment imports chaos for the RunConfig knob).
+package chaos_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"refer/internal/chaos"
+	"refer/internal/experiment"
+	"refer/internal/scenario"
+	"refer/internal/trace"
+)
+
+// Conformance run windows: traffic stops well before the run end so every
+// injected packet resolves (retransmit budgets bound packet lifetimes) and
+// the final liveness equality is meaningful.
+const (
+	confTrafficEnd = 150 * time.Second
+	confRunEnd     = 220 * time.Second
+)
+
+// conformanceSchedules returns the fault campaigns of the matrix. All
+// events complete (including delayed recoveries) before confRunEnd.
+func conformanceSchedules() map[string]*chaos.Schedule {
+	sec := func(s int) chaos.Duration { return chaos.Duration(time.Duration(s) * time.Second) }
+	return map[string]*chaos.Schedule{
+		// Sustained random churn with a lossy-link window on top.
+		"churn": {
+			Seed: 1001,
+			Events: []chaos.Event{
+				{Kind: chaos.Churn, At: sec(20), Rate: 0.3, Duration: sec(100), Downtime: sec(15)},
+				{Kind: chaos.LinkLoss, At: sec(60), Probability: 0.15, Duration: sec(40)},
+			},
+		},
+		// Correlated regional failures plus an energy brownout.
+		"blackout": {
+			Seed: 1002,
+			Events: []chaos.Event{
+				{Kind: chaos.Blackout, At: sec(40), X: 250, Y: 250, Radius: 120, Duration: sec(30)},
+				{Kind: chaos.Brownout, At: sec(80), Fraction: 0.3},
+				{Kind: chaos.Blackout, At: sec(90), X: 150, Y: 350, Radius: 100, Duration: sec(30)},
+			},
+		},
+		// Targeted kills: an actuator outage, a permanent sensor crash
+		// later recovered by hand, and a transient crash.
+		"kill": {
+			Seed: 1003,
+			Events: []chaos.Event{
+				{Kind: chaos.Crash, At: sec(20), Node: 5},
+				{Kind: chaos.Crash, At: sec(25), Node: 9, Duration: sec(50)},
+				{Kind: chaos.ActuatorKill, At: sec(30), Node: 1, Duration: sec(60)},
+				{Kind: chaos.LinkLoss, At: sec(100), Probability: 0.05, Duration: sec(30)},
+				{Kind: chaos.Recover, At: sec(120), Node: 5},
+			},
+		},
+	}
+}
+
+// TestConformance is the matrix: four systems × three fault campaigns,
+// zero invariant violations each. Run under -race in CI.
+func TestConformance(t *testing.T) {
+	schedules := conformanceSchedules()
+	names := make([]string, 0, len(schedules))
+	for name := range schedules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, sysName := range experiment.AllSystems() {
+		for _, schedName := range names {
+			sysName, sched := sysName, schedules[schedName]
+			t.Run(sysName+"/"+schedName, func(t *testing.T) {
+				t.Parallel()
+				runConformance(t, sysName, sched)
+			})
+		}
+	}
+}
+
+func runConformance(t *testing.T, sysName string, sched *chaos.Schedule) {
+	t.Helper()
+	// Constrained batteries so brownouts and depletion paths are real, and
+	// borrow checks on so any system caught retaining a cache-owned
+	// neighbor slice panics inside the run.
+	w := scenario.Build(scenario.Params{Seed: 11, Sensors: 150, MaxSpeed: 1.5, SensorBattery: 10000})
+	w.EnableBorrowChecks()
+	rec := trace.NewRecorder(64)
+	w.SetTracer(rec)
+
+	sys, err := experiment.NewSystem(sysName, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	checker, ok := sys.(chaos.Checker)
+	if !ok {
+		t.Fatalf("%s does not implement chaos.Checker", sysName)
+	}
+
+	inj, err := chaos.Attach(w, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := chaos.NewHarness(w, checker)
+	h.Observe(inj)
+
+	// The paper's traffic shape: periodic bursts from random alive sensors.
+	sensors := scenario.SensorIDs(w)
+	var burst func()
+	burst = func() {
+		if w.Now() > confTrafficEnd {
+			return
+		}
+		for i := 0; i < 5; i++ {
+			src := sensors[w.Rand().Intn(len(sensors))]
+			if !w.Node(src).Alive() {
+				continue
+			}
+			sys.Inject(src, nil)
+		}
+		if _, err := w.Sched.After(10*time.Second, burst); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := w.Sched.After(10*time.Second, burst); err != nil {
+		t.Fatal(err)
+	}
+
+	w.Sched.RunUntil(confRunEnd)
+
+	if violations := h.Final(); len(violations) != 0 {
+		for i, v := range violations {
+			if i == 10 {
+				t.Errorf("... and %d more", len(violations)-10)
+				break
+			}
+			t.Errorf("violation: %v", v)
+		}
+		t.FailNow()
+	}
+	if c := rec.Counts(); c.Injected == 0 {
+		t.Fatal("degenerate run: no packets injected")
+	}
+	if st := inj.Stats(); st.Crashes == 0 || st.Recoveries == 0 {
+		t.Fatalf("degenerate campaign: %+v", st)
+	}
+}

@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"refer/internal/energy"
+	"refer/internal/world"
+)
+
+// Checker is the structural self-audit every evaluated system exposes:
+// CheckInvariants returns the first violated invariant, or nil. REFER,
+// DaTree, D-DEAR, and the Kautz overlay all implement it.
+type Checker interface {
+	CheckInvariants() error
+}
+
+// Violation is one failed invariant check: when it fired, which probe
+// phase triggered it (a fault kind, or "final"), and the error.
+type Violation struct {
+	At    time.Duration
+	Phase string
+	Err   error
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%v [%s] %v", v.At, v.Phase, v.Err)
+}
+
+// Harness runs the conformance invariants against one system on one world.
+// Hook it to an Injector with Observe so the checks fire after every fault
+// action, then call Final once the run has quiesced.
+//
+// The harness's checks are pure reads: they never query the world's
+// neighbor caches or draw randomness, so an instrumented run replays
+// byte-identically to an uninstrumented one.
+type Harness struct {
+	w          *world.World
+	sys        Checker
+	violations []Violation
+}
+
+// NewHarness creates a harness for sys running on w. sys may be nil to
+// check only the simulator-wide invariants.
+func NewHarness(w *world.World, sys Checker) *Harness {
+	return &Harness{w: w, sys: sys}
+}
+
+// Observe hooks the harness to an injector: every applied fault action
+// triggers a mid-run Check.
+func (h *Harness) Observe(inj *Injector) {
+	inj.SetObserver(func(kind EventKind) { h.Check(string(kind)) })
+}
+
+// Check runs the mid-run invariants and records any violations under the
+// given phase label:
+//
+//   - exact energy accounting: per meter, spent == construction + comm +
+//     drained and construction + comm == tx·TxCost + rx·RxCost (no phantom
+//     energy, no unmetered drain), a constrained battery is never
+//     overdrawn, and a depleted node is never alive;
+//   - the drain ledgers reconcile globally against the world's counter;
+//   - packet conservation (when a trace recorder is attached): delivered +
+//     dropped never exceeds injected — mid-run the difference is the
+//     in-flight population.
+//   - the system's own structural invariants (Checker).
+func (h *Harness) Check(phase string) {
+	h.report(phase, h.checkEnergy())
+	h.report(phase, h.checkConservation(false))
+	if h.sys != nil {
+		h.report(phase, h.sys.CheckInvariants())
+	}
+}
+
+// Final runs the end-of-run invariants — everything Check covers, plus
+// liveness: with the run quiesced there is no in-flight population left,
+// so packet conservation must hold with equality (every injected packet
+// resolved exactly once). It returns all recorded violations.
+func (h *Harness) Final() []Violation {
+	h.report("final", h.checkEnergy())
+	h.report("final", h.checkConservation(true))
+	if h.sys != nil {
+		h.report("final", h.sys.CheckInvariants())
+	}
+	return h.violations
+}
+
+// Violations returns everything recorded so far.
+func (h *Harness) Violations() []Violation { return h.violations }
+
+func (h *Harness) report(phase string, err error) {
+	if err != nil {
+		h.violations = append(h.violations, Violation{At: h.w.Now(), Phase: phase, Err: err})
+	}
+}
+
+// energyEps returns the float tolerance for reconciling sums accumulated
+// in different orders: relative to the magnitude, floored for near-zero
+// ledgers.
+func energyEps(magnitude float64) float64 {
+	return 1e-6 * math.Max(1, magnitude)
+}
+
+func (h *Harness) checkEnergy() error {
+	model := h.w.Config().Energy
+	var totalDrained float64
+	for _, n := range h.w.Nodes() {
+		m := n.Meter
+		spent, constr, comm, drained := m.Spent(), m.SpentOn(energy.Construction), m.SpentOn(energy.Communication), m.Drained()
+		totalDrained += drained
+		if diff := spent - (constr + comm + drained); math.Abs(diff) > energyEps(spent) {
+			return fmt.Errorf("chaos: node %d: phantom energy: spent %.6f J but ledgers sum to %.6f J",
+				n.ID, spent, constr+comm+drained)
+		}
+		tx, rx := m.Packets()
+		radio := float64(tx)*model.TxCost + float64(rx)*model.RxCost
+		if diff := (constr + comm) - radio; math.Abs(diff) > energyEps(radio) {
+			return fmt.Errorf("chaos: node %d: ledgers hold %.6f J but %d tx + %d rx cost %.6f J",
+				n.ID, constr+comm, tx, rx, radio)
+		}
+		if m.Budget() > 0 && spent > m.Budget()+energyEps(m.Budget()) {
+			return fmt.Errorf("chaos: node %d: overdrawn battery: spent %.6f J of %.6f J", n.ID, spent, m.Budget())
+		}
+		if m.Depleted() && n.Alive() {
+			return fmt.Errorf("chaos: node %d is alive with a depleted battery", n.ID)
+		}
+	}
+	if counted := h.w.Stats().EnergyDrained; math.Abs(totalDrained-counted) > energyEps(counted) {
+		return fmt.Errorf("chaos: meters drained %.6f J but the world counted %.6f J", totalDrained, counted)
+	}
+	return nil
+}
+
+func (h *Harness) checkConservation(final bool) error {
+	rec := h.w.Tracer()
+	if rec == nil {
+		return nil
+	}
+	c := rec.Counts()
+	resolved := c.Delivered + c.Dropped
+	if resolved > c.Injected {
+		return fmt.Errorf("chaos: packet conservation: %d delivered + %d dropped exceeds %d injected",
+			c.Delivered, c.Dropped, c.Injected)
+	}
+	if final && resolved != c.Injected {
+		return fmt.Errorf("chaos: liveness: %d of %d injected packets never resolved",
+			c.Injected-resolved, c.Injected)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ package datree
 import (
 	"refer/internal/energy"
 	"refer/internal/manet"
+	"refer/internal/trace"
 	"refer/internal/world"
 )
 
@@ -177,8 +178,12 @@ func (s *System) refineTrees() {
 // Inject routes one packet from src up its tree to the root actuator.
 // done fires once with the outcome.
 func (s *System) Inject(src world.NodeID, done func(ok bool)) {
+	pkt := s.w.Tracer().PacketInject(s.w.Now(), int32(src))
 	finish := func(ok bool) {
-		if !ok {
+		if ok {
+			pkt.Deliver(s.w.Now())
+		} else {
+			pkt.Drop(s.w.Now())
 			s.stats.Drops++
 		}
 		if done != nil {
@@ -193,28 +198,29 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 		finish(true) // the actuator already has the data
 		return
 	}
-	s.transmit(src, src, s.cfg.MaxRetransmits, finish)
+	s.transmit(src, src, s.cfg.MaxRetransmits, pkt, finish)
 }
 
 // transmit walks the packet up the tree from at. On a broken hop the stuck
 // node repairs its parent link by flooding toward the root, then the packet
 // is retransmitted from the source (budget permitting).
-func (s *System) transmit(src, at world.NodeID, budget int, done func(ok bool)) {
+func (s *System) transmit(src, at world.NodeID, budget int, pkt trace.Packet, done func(ok bool)) {
 	if s.w.Node(at).Kind == world.Actuator {
 		done(true)
 		return
 	}
 	p, ok := s.parent[at]
 	if !ok || !s.w.Node(p).Alive() || !s.w.InRange(at, p) {
-		s.repairAndRetransmit(src, at, budget, done)
+		s.repairAndRetransmit(src, at, budget, pkt, done)
 		return
 	}
 	s.w.Send(at, p, energy.Communication, func(o world.Outcome) {
 		if o == world.Delivered {
-			s.transmit(src, p, budget, done)
+			pkt.Hop(s.w.Now(), int32(at), int32(p), 0)
+			s.transmit(src, p, budget, pkt, done)
 			return
 		}
-		s.repairAndRetransmit(src, at, budget, done)
+		s.repairAndRetransmit(src, at, budget, pkt, done)
 	})
 }
 
@@ -222,7 +228,7 @@ func (s *System) transmit(src, at world.NodeID, budget int, done func(ok bool)) 
 // re-establish parents along the discovered path, then retransmits the
 // packet from the source. Concurrent packets stuck at the same node share a
 // single repair flood.
-func (s *System) repairAndRetransmit(src, stuck world.NodeID, budget int, done func(ok bool)) {
+func (s *System) repairAndRetransmit(src, stuck world.NodeID, budget int, pkt trace.Packet, done func(ok bool)) {
 	if budget <= 0 {
 		done(false)
 		return
@@ -242,7 +248,7 @@ func (s *System) repairAndRetransmit(src, stuck world.NodeID, budget int, done f
 		if !s.w.Node(src).Alive() {
 			retryFrom = stuck
 		}
-		s.transmit(retryFrom, retryFrom, budget-1, done)
+		s.transmit(retryFrom, retryFrom, budget-1, pkt, done)
 	}
 	if waiting, inFlight := s.repairing[stuck]; inFlight {
 		s.repairing[stuck] = append(waiting, cont)

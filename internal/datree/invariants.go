@@ -1,0 +1,67 @@
+package datree
+
+import (
+	"fmt"
+
+	"refer/internal/world"
+)
+
+// CheckInvariants audits the tree structure and returns the first
+// violation, or nil. It is the conformance harness's probe point (see
+// internal/chaos), so every check is something construction, refinement,
+// and repair guarantee unconditionally:
+//
+//  1. Registration: parent and root record exactly the same sensors, a
+//     sensor never parents itself, and every recorded root is an actuator.
+//  2. Well-foundedness: following parent links from any sensor reaches an
+//     actuator without revisiting a node — repair re-points parents along a
+//     loop-free discovered route, so no sequence of repairs may introduce a
+//     cycle or an orphaned interior sensor.
+//
+// The chain's terminating actuator may differ from the sensor's recorded
+// root: a repair flood re-roots the sensors on its route, and descendants
+// hanging off them legitimately inherit the new terminus while keeping
+// their old root record until their own next repair.
+func (s *System) CheckInvariants() error {
+	if !s.built {
+		return nil
+	}
+	if len(s.parent) != len(s.root) {
+		return fmt.Errorf("datree: %d sensors have parents but %d have roots", len(s.parent), len(s.root))
+	}
+	for id, r := range s.root {
+		if _, ok := s.parent[id]; !ok {
+			return fmt.Errorf("datree: sensor %d has root %d but no parent", id, r)
+		}
+		if s.w.Node(r).Kind != world.Actuator {
+			return fmt.Errorf("datree: sensor %d's root %d is not an actuator", id, r)
+		}
+	}
+	for id, p := range s.parent {
+		if s.w.Node(id).Kind != world.Sensor {
+			return fmt.Errorf("datree: non-sensor %d joined a tree", id)
+		}
+		if p == id {
+			return fmt.Errorf("datree: sensor %d is its own parent", id)
+		}
+	}
+	// Walk every chain; len(parent) sensor hops is the longest possible
+	// simple chain, so one more step proves a cycle.
+	for id := range s.parent {
+		at := id
+		for steps := 0; ; steps++ {
+			if s.w.Node(at).Kind == world.Actuator {
+				break
+			}
+			next, ok := s.parent[at]
+			if !ok {
+				return fmt.Errorf("datree: sensor %d's chain dead-ends at orphan sensor %d", id, at)
+			}
+			if steps > len(s.parent) {
+				return fmt.Errorf("datree: sensor %d's parent chain cycles", id)
+			}
+			at = next
+		}
+	}
+	return nil
+}

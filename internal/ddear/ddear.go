@@ -16,6 +16,7 @@ import (
 
 	"refer/internal/energy"
 	"refer/internal/manet"
+	"refer/internal/trace"
 	"refer/internal/world"
 )
 
@@ -235,8 +236,12 @@ func (s *System) twoHopHead(id world.NodeID, isHead map[world.NodeID]bool) (head
 
 // Inject routes one packet: member → (relay →) head → backbone → actuator.
 func (s *System) Inject(src world.NodeID, done func(ok bool)) {
+	pkt := s.w.Tracer().PacketInject(s.w.Now(), int32(src))
 	finish := func(ok bool) {
-		if !ok {
+		if ok {
+			pkt.Deliver(s.w.Now())
+		} else {
+			pkt.Drop(s.w.Now())
 			s.stats.Drops++
 		}
 		if done != nil {
@@ -267,9 +272,9 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 			return
 		}
 	}
-	s.toHead(src, head, func(ok bool) {
+	s.toHead(src, head, pkt, func(ok bool) {
 		if ok {
-			s.alongBackbone(head, s.cfg.MaxRetransmits, finish)
+			s.alongBackbone(head, s.cfg.MaxRetransmits, pkt, finish)
 			return
 		}
 		// Mobility carried the member away from its head: re-attach to a
@@ -280,12 +285,12 @@ func (s *System) Inject(src world.NodeID, done func(ok bool)) {
 			finish(false)
 			return
 		}
-		s.toHead(src, newHead, func(ok bool) {
+		s.toHead(src, newHead, pkt, func(ok bool) {
 			if !ok {
 				finish(false)
 				return
 			}
-			s.alongBackbone(newHead, s.cfg.MaxRetransmits, finish)
+			s.alongBackbone(newHead, s.cfg.MaxRetransmits, pkt, finish)
 		})
 	})
 }
@@ -315,7 +320,7 @@ func (s *System) headSet() map[world.NodeID]bool {
 }
 
 // toHead delivers the packet from a member to its cluster head (≤ 2 hops).
-func (s *System) toHead(src, head world.NodeID, done func(ok bool)) {
+func (s *System) toHead(src, head world.NodeID, pkt trace.Packet, done func(ok bool)) {
 	if src == head {
 		done(true)
 		return
@@ -326,11 +331,15 @@ func (s *System) toHead(src, head world.NodeID, done func(ok bool)) {
 				done(false)
 				return
 			}
+			pkt.Hop(s.w.Now(), int32(src), int32(via), 0)
 			if via == head {
 				done(true)
 				return
 			}
 			s.w.Send(via, head, energy.Communication, func(o world.Outcome) {
+				if o == world.Delivered {
+					pkt.Hop(s.w.Now(), int32(via), int32(head), 0)
+				}
 				done(o == world.Delivered)
 			})
 		})
@@ -344,18 +353,19 @@ func (s *System) toHead(src, head world.NodeID, done func(ok bool)) {
 
 // alongBackbone forwards from a head along its stored multi-hop path; on a
 // break, the head floods to rebuild the path and retransmits.
-func (s *System) alongBackbone(head world.NodeID, budget int, done func(ok bool)) {
+func (s *System) alongBackbone(head world.NodeID, budget int, pkt trace.Packet, done func(ok bool)) {
 	path := s.backbone[head]
 	if len(path) == 0 {
-		s.rebuildAndRetry(head, budget, done)
+		s.rebuildAndRetry(head, budget, pkt, done)
 		return
 	}
-	manet.SendAlongPath(s.w, path, energy.Communication,
+	manet.SendAlongPathHops(s.w, path, energy.Communication,
+		func(i int) { pkt.Hop(s.w.Now(), int32(path[i]), int32(path[i+1]), 0) },
 		func() { done(true) },
-		func(int) { s.rebuildAndRetry(head, budget, done) })
+		func(int) { s.rebuildAndRetry(head, budget, pkt, done) })
 }
 
-func (s *System) rebuildAndRetry(head world.NodeID, budget int, done func(ok bool)) {
+func (s *System) rebuildAndRetry(head world.NodeID, budget int, pkt trace.Packet, done func(ok bool)) {
 	if budget <= 0 || !s.w.Node(head).Alive() {
 		done(false)
 		return
@@ -366,7 +376,7 @@ func (s *System) rebuildAndRetry(head world.NodeID, budget int, done func(ok boo
 			return
 		}
 		s.stats.Retransmits++
-		s.alongBackbone(head, budget-1, done)
+		s.alongBackbone(head, budget-1, pkt, done)
 	}
 	if waiting, inFlight := s.rebuilding[head]; inFlight {
 		s.rebuilding[head] = append(waiting, cont)

@@ -1,0 +1,79 @@
+package ddear
+
+import (
+	"fmt"
+
+	"refer/internal/world"
+)
+
+// CheckInvariants audits the cluster structure and returns the first
+// violation, or nil. It is the conformance harness's probe point (see
+// internal/chaos), so every check is something election, attachment, and
+// backbone repair guarantee unconditionally:
+//
+//  1. Heads: every elected head is a sensor clustered to itself, and every
+//     member's head is an elected head.
+//  2. Relays: a two-hop member's relay is a third sensor — never the member
+//     itself and never the head it bridges to.
+//  3. Backbone: every stored path belongs to an elected head, starts at
+//     that head, ends at an actuator, and is loop-free.
+//
+// Head and backbone liveness are deliberately not invariants: a crashed
+// head simply fails its members' packets until they re-attach, and a stale
+// backbone is rebuilt on first use — both are protocol behaviour under
+// faults, not corruption.
+func (s *System) CheckInvariants() error {
+	if !s.built {
+		return nil
+	}
+	isHead := make(map[world.NodeID]bool, len(s.heads))
+	for _, h := range s.heads {
+		if s.w.Node(h).Kind != world.Sensor {
+			return fmt.Errorf("ddear: head %d is not a sensor", h)
+		}
+		if got, ok := s.headOf[h]; !ok || got != h {
+			return fmt.Errorf("ddear: head %d is clustered to %d, want itself", h, got)
+		}
+		isHead[h] = true
+	}
+	for id, h := range s.headOf {
+		if !isHead[h] {
+			return fmt.Errorf("ddear: member %d attached to non-head %d", id, h)
+		}
+		if s.w.Node(id).Kind != world.Sensor {
+			return fmt.Errorf("ddear: non-sensor %d joined a cluster", id)
+		}
+	}
+	for id, relay := range s.relayTo {
+		h, ok := s.headOf[id]
+		if !ok {
+			return fmt.Errorf("ddear: member %d has relay %d but no head", id, relay)
+		}
+		if relay == id || relay == h {
+			return fmt.Errorf("ddear: member %d's relay %d collapses its two-hop path to head %d", id, relay, h)
+		}
+	}
+	for h, path := range s.backbone {
+		if !isHead[h] {
+			return fmt.Errorf("ddear: backbone path stored for non-head %d", h)
+		}
+		if len(path) < 2 {
+			return fmt.Errorf("ddear: head %d's backbone path too short: %v", h, path)
+		}
+		if path[0] != h {
+			return fmt.Errorf("ddear: head %d's backbone path starts at %d", h, path[0])
+		}
+		last := path[len(path)-1]
+		if s.w.Node(last).Kind != world.Actuator {
+			return fmt.Errorf("ddear: head %d's backbone path ends at non-actuator %d", h, last)
+		}
+		seen := make(map[world.NodeID]bool, len(path))
+		for _, id := range path {
+			if seen[id] {
+				return fmt.Errorf("ddear: head %d's backbone path revisits %d", h, id)
+			}
+			seen[id] = true
+		}
+	}
+	return nil
+}

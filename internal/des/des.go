@@ -76,6 +76,17 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // removed from the queue eagerly, so they never inflate the count.
 func (s *Scheduler) Pending() int { return len(s.heap) }
 
+// NextAt peeks at the earliest pending event's timestamp without executing
+// it. ok is false when the queue is empty. Fault-injection and conformance
+// tooling use it to tell self-rescheduling protocol timers (the queue never
+// drains) apart from genuinely outstanding work within a window.
+func (s *Scheduler) NextAt() (at time.Duration, ok bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) is an error — a simulation bug worth failing loudly on.
 func (s *Scheduler) At(at time.Duration, fn func()) (Handle, error) {

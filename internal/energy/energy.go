@@ -61,6 +61,7 @@ type Meter struct {
 	spent        float64
 	construction float64
 	comm         float64
+	drained      float64
 	txPackets    int64
 	rxPackets    int64
 }
@@ -92,6 +93,35 @@ func (m *Meter) charge(cost float64, l Ledger) {
 		m.comm += cost
 	}
 }
+
+// Drain removes joules from the battery outside the packet cost model —
+// fault-injection brownouts, leakage, self-discharge. The amount lands in
+// its own ledger (see Drained) so exact accounting stays checkable:
+// spent == construction + comm + drained at all times. Draining an
+// unconstrained meter (budget <= 0) is a no-op. Returns the Joules
+// actually drained, clamped to what the battery has left.
+func (m *Meter) Drain(joules float64) float64 {
+	if m.initial <= 0 || joules <= 0 {
+		return 0
+	}
+	if left := m.initial - m.spent; joules > left {
+		joules = left
+	}
+	if joules <= 0 {
+		return 0
+	}
+	m.spent += joules
+	m.drained += joules
+	return joules
+}
+
+// Drained returns the Joules removed via Drain, outside both packet
+// ledgers.
+func (m *Meter) Drained() float64 { return m.drained }
+
+// Budget returns the initial battery budget in Joules (<= 0 means
+// unconstrained).
+func (m *Meter) Budget() float64 { return m.initial }
 
 // Spent returns the total Joules consumed.
 func (m *Meter) Spent() float64 { return m.spent }

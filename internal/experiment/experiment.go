@@ -11,6 +11,7 @@ import (
 
 	"time"
 
+	"refer/internal/chaos"
 	"refer/internal/core"
 	"refer/internal/datree"
 	"refer/internal/ddear"
@@ -125,6 +126,11 @@ type RunConfig struct {
 	// this run — it is unsynchronized by design. Nil (the default) leaves
 	// the forwarding hot path untouched.
 	Trace *trace.Recorder
+	// Chaos, when non-nil, compiles the fault schedule onto the run's event
+	// queue (see internal/chaos). The injector draws from its own seeded
+	// stream, so a nil schedule leaves the run byte-identical to builds
+	// without the subsystem. Applied-fault counters land in Stats.Chaos.
+	Chaos *chaos.Schedule
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -215,6 +221,17 @@ type RunStats struct {
 	// Trace holds the exact packet-lifecycle and radio counters when a
 	// recorder was attached; zero otherwise.
 	Trace trace.Counts `json:"trace"`
+	// Chaos holds the applied-fault counters when a chaos schedule was
+	// attached; zero otherwise.
+	Chaos chaos.Stats `json:"chaos"`
+	// FaultInjections/FaultRecoveries count node down/up transitions from
+	// every source (RunConfig.FaultCount rotation and chaos schedules);
+	// LostSends counts unicasts dropped by the link-loss hook and
+	// EnergyDrained sums brownout Joules.
+	FaultInjections uint64  `json:"fault_injections"`
+	FaultRecoveries uint64  `json:"fault_recoveries"`
+	LostSends       uint64  `json:"lost_sends"`
+	EnergyDrained   float64 `json:"energy_drained_j"`
 }
 
 // StripWallClock returns the stats with the host-timing fields zeroed —
@@ -253,6 +270,13 @@ func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
 	}
 	if err := sys.Build(); err != nil {
 		return Result{}, fmt.Errorf("experiment: building %s: %w", cfg.System, err)
+	}
+	var injector *chaos.Injector
+	if cfg.Chaos != nil {
+		injector, err = chaos.Attach(w, cfg.Chaos)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 
 	collector := metrics.NewCollector(cfg.Warmup, cfg.Warmup+cfg.Duration, cfg.QoSDeadline)
@@ -359,6 +383,11 @@ func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
 		CommEnergy:         w.TotalEnergy(energy.Communication),
 		ConstructionEnergy: w.TotalEnergy(energy.Construction),
 		Trace:              cfg.Trace.Counts(),
+		Chaos:              injector.Stats(),
+		FaultInjections:    ws.FaultInjections,
+		FaultRecoveries:    ws.FaultRecoveries,
+		LostSends:          ws.LostSends,
+		EnergyDrained:      ws.EnergyDrained,
 	}
 	if secs := stats.WallClock.Seconds(); secs > 0 {
 		stats.EventsPerSec = float64(stats.DESEvents) / secs

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"refer/internal/chaos"
 	"refer/internal/metrics"
 	"refer/internal/scenario"
 	"refer/internal/trace"
@@ -41,6 +42,11 @@ type Options struct {
 	// Trace counters (which are always exact) aggregate into the figure's
 	// SweepStats. Zero disables tracing entirely.
 	TraceSample int
+	// Chaos, when non-nil, attaches the fault schedule to every run of the
+	// sweep that does not already carry its own (figures like A3 build
+	// per-point schedules). Applied-fault counters aggregate into the
+	// figure's SweepStats.
+	Chaos *chaos.Schedule
 
 	// figureID labels progress events with the owning registry entry; set
 	// by the registry wrapper, empty for direct sweep use.
@@ -84,6 +90,9 @@ type SweepStats struct {
 	FailoverSwitches uint64 `json:"failover_switches"`
 	// Trace sums the runs' trace counters; zero unless TraceSample > 0.
 	Trace trace.Counts `json:"trace"`
+	// Chaos sums the runs' applied-fault counters; zero unless a schedule
+	// was attached.
+	Chaos chaos.Stats `json:"chaos"`
 }
 
 // accumulate folds one run's stats into the sweep totals.
@@ -95,6 +104,7 @@ func (s *SweepStats) accumulate(r RunStats) {
 	s.RouteTableMisses += uint64(r.RouteTableMisses)
 	s.FailoverSwitches += uint64(r.FailoverSwitches)
 	s.Trace.Add(r.Trace)
+	s.Chaos.Add(r.Chaos)
 }
 
 // finish stamps the end-to-end timing fields.
@@ -170,6 +180,9 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 				}
 				if o.PacketsPerSource > 0 {
 					cfg.PacketsPerSource = o.PacketsPerSource
+				}
+				if cfg.Chaos == nil {
+					cfg.Chaos = o.Chaos
 				}
 				jobs = append(jobs, job{cfg: cfg, cell: cell{sys: sys, x: xi}, x: x})
 			}

@@ -262,7 +262,7 @@ func TestRegistryContents(t *testing.T) {
 	wantKinds := map[string]FigureKind{
 		"4": KindPaper, "5": KindPaper, "6": KindPaper, "7": KindPaper,
 		"8": KindPaper, "9": KindPaper, "10": KindPaper, "11": KindPaper,
-		"A1": KindAblation, "A2": KindAblation,
+		"A1": KindAblation, "A2": KindAblation, "A3": KindAblation,
 		"E1": KindExtension, "E2": KindExtension, "E3": KindExtension,
 	}
 	if len(specs) != len(wantKinds) {

@@ -94,6 +94,7 @@ var registry = []FigureSpec{
 		}),
 	newSpec("A1", "Ablation: Theorem 3.8 failover under faults", KindAblation, ablationFailover),
 	newSpec("A2", "Ablation: topology maintenance under mobility", KindAblation, ablationMaintenance),
+	newSpec("A3", "Ablation: delivery ratio vs churn fault rate", KindAblation, ablationChurn),
 	newSpec("E1", "Extension: QoS throughput in sparse deployments", KindExtension, extSparse),
 	newSpec("E2", "Extension: delivery ratio in sparse deployments", KindExtension, extSparseDeliveryRatio),
 	newSpec("E3", "Extension: K(2,3) vs K(3,3) cells under faults", KindExtension, extDegree),

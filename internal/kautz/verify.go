@@ -1,0 +1,73 @@
+package kautz
+
+import "fmt"
+
+// VerifyRoutes audits a Theorem 3.8 route set for u → v in K(d, k) and
+// returns the first violation found, or nil when the set is sound:
+//
+//   - exactly d routes, one per legal out-digit (pairwise distinct, none
+//     equal to u's last digit);
+//   - every route's Successor is a Kautz successor of u, equal to the
+//     second node of its concrete path;
+//   - every concrete path starts at u, ends at v, is a walk of consecutive
+//     Kautz arcs over valid K(d, k) nodes, and is simple;
+//   - the paths are internally disjoint (Theorem 3.8's core claim).
+//
+// It is shared by the fuzz targets and the conformance harness's failover
+// soundness probe: a failover that switches to routes[i+1] of a verified
+// set by construction lands on a valid disjoint-path successor.
+func VerifyRoutes(d int, u, v ID, routes []Route) error {
+	if len(routes) != d {
+		return fmt.Errorf("kautz: %s→%s: %d routes, want d=%d", u, v, len(routes), d)
+	}
+	k := len(u)
+	outDigits := make(map[int]bool, d)
+	succs := make(map[ID]bool, d)
+	paths := make([][]ID, 0, d)
+	for _, r := range routes {
+		if r.OutDigit == u.Last() {
+			return fmt.Errorf("kautz: %s→%s: out-digit %d repeats u's last digit", u, v, r.OutDigit)
+		}
+		if outDigits[r.OutDigit] {
+			return fmt.Errorf("kautz: %s→%s: duplicate out-digit %d", u, v, r.OutDigit)
+		}
+		outDigits[r.OutDigit] = true
+		if succs[r.Successor] {
+			return fmt.Errorf("kautz: %s→%s: duplicate successor %s", u, v, r.Successor)
+		}
+		succs[r.Successor] = true
+		if !IsSuccessor(u, r.Successor) {
+			return fmt.Errorf("kautz: %s→%s: %s is not a successor of %s", u, v, r.Successor, u)
+		}
+		if len(r.Path) < 2 {
+			return fmt.Errorf("kautz: %s→%s via %s: path too short: %v", u, v, r.Successor, r.Path)
+		}
+		if r.Path[0] != u {
+			return fmt.Errorf("kautz: %s→%s via %s: path starts at %s", u, v, r.Successor, r.Path[0])
+		}
+		if r.Path[len(r.Path)-1] != v {
+			return fmt.Errorf("kautz: %s→%s via %s: path ends at %s", u, v, r.Successor, r.Path[len(r.Path)-1])
+		}
+		if r.Path[1] != r.Successor {
+			return fmt.Errorf("kautz: %s→%s: path's first hop %s disagrees with Successor %s", u, v, r.Path[1], r.Successor)
+		}
+		seen := make(map[ID]bool, len(r.Path))
+		for _, node := range r.Path {
+			if !node.Valid(d, k) {
+				return fmt.Errorf("kautz: %s→%s via %s: node %s invalid for K(%d,%d)", u, v, r.Successor, node, d, k)
+			}
+			if seen[node] {
+				return fmt.Errorf("kautz: %s→%s via %s: path revisits %s", u, v, r.Successor, node)
+			}
+			seen[node] = true
+		}
+		if !ValidWalk(r.Path) {
+			return fmt.Errorf("kautz: %s→%s via %s: path %v is not a Kautz walk", u, v, r.Successor, r.Path)
+		}
+		paths = append(paths, r.Path)
+	}
+	if !InternallyDisjoint(paths) {
+		return fmt.Errorf("kautz: %s→%s: paths are not internally disjoint", u, v)
+	}
+	return nil
+}

@@ -165,6 +165,14 @@ func DiscoverRouteRing(w *world.World, src, dst world.NodeID, ttls []int, ledger
 // (path[brokenAt] failed to reach path[brokenAt+1]). Exactly one of the two
 // callbacks fires. A path of length < 2 delivers immediately.
 func SendAlongPath(w *world.World, path []world.NodeID, ledger energy.Ledger, onDelivered func(), onBroken func(brokenAt int)) {
+	SendAlongPathHops(w, path, ledger, nil, onDelivered, onBroken)
+}
+
+// SendAlongPathHops is SendAlongPath with a per-hop observer: onHop fires
+// after each successful hop with the index of the forwarding node
+// (path[hopAt] reached path[hopAt+1]). Systems use it to thread per-packet
+// tracing through source-routed segments; onHop may be nil.
+func SendAlongPathHops(w *world.World, path []world.NodeID, ledger energy.Ledger, onHop func(hopAt int), onDelivered func(), onBroken func(brokenAt int)) {
 	if len(path) < 2 {
 		if onDelivered != nil {
 			onDelivered()
@@ -181,6 +189,9 @@ func SendAlongPath(w *world.World, path []world.NodeID, ledger energy.Ledger, on
 		}
 		w.Send(path[i], path[i+1], ledger, func(o world.Outcome) {
 			if o == world.Delivered {
+				if onHop != nil {
+					onHop(i)
+				}
 				hop(i + 1)
 				return
 			}

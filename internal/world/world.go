@@ -72,6 +72,9 @@ const (
 	ReceiverFailed
 	// SenderFailed means the sender itself was faulty or depleted.
 	SenderFailed
+	// Lost means the link dropped the packet in flight (transient
+	// degradation injected via SetLinkLoss); the sender sees a lost ack.
+	Lost
 )
 
 // String implements fmt.Stringer.
@@ -85,6 +88,8 @@ func (o Outcome) String() string {
 		return "receiver-failed"
 	case SenderFailed:
 		return "sender-failed"
+	case Lost:
+		return "lost"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -183,6 +188,16 @@ type World struct {
 	aliveGen uint64
 	scratch  []int // Within candidate scratch shared across cache fills
 
+	// linkLoss is the transient link degradation probability applied to
+	// unicast sends. Zero (the default) draws no randomness, so runs
+	// without chaos replay byte-identically to builds without the hook.
+	linkLoss float64
+
+	// borrowShadows, when non-nil, holds private copies of the cache-owned
+	// slices handed out by Neighbors/AliveNeighbors, used to detect callers
+	// violating the borrowed-slice contract. See EnableBorrowChecks.
+	borrowShadows []borrowShadow
+
 	stats Stats
 }
 
@@ -216,6 +231,14 @@ type Stats struct {
 	// NeighborHits counts queries served from the cache.
 	NeighborRebuilds uint64
 	NeighborHits     uint64
+	// FaultInjections and FaultRecoveries count SetFailed transitions, so
+	// a fault campaign's footprint is visible in run stats.
+	FaultInjections uint64
+	FaultRecoveries uint64
+	// LostSends counts unicast packets dropped by the link-loss hook.
+	LostSends uint64
+	// EnergyDrained sums Joules removed through DrainBattery (brownouts).
+	EnergyDrained float64
 }
 
 // Stats returns a snapshot of the world's spatial-index counters.
@@ -345,7 +368,44 @@ func (w *World) SetFailed(id NodeID, failed bool) {
 	if n.failed != failed {
 		n.failed = failed
 		w.aliveGen++
+		if failed {
+			w.stats.FaultInjections++
+		} else {
+			w.stats.FaultRecoveries++
+		}
 	}
+}
+
+// SetLinkLoss sets the probability in [0, 1] that a unicast send with an
+// in-range, alive receiver is lost in flight (the sender times out as if
+// the ack were lost). A rate of zero — the default — draws no randomness,
+// so runs that never enable loss replay byte-identically. Broadcasts and
+// floods are unaffected: loss models data-path degradation, and the
+// baseline repair floods already pay their cost in energy and delay.
+func (w *World) SetLinkLoss(p float64) {
+	w.linkLoss = math.Max(0, math.Min(1, p))
+}
+
+// LinkLoss returns the current link-loss probability.
+func (w *World) LinkLoss() float64 { return w.linkLoss }
+
+// DrainBattery removes the given fraction of a node's *remaining* battery
+// through the meter's drain ledger (fault-injection brownouts). Depletion
+// is folded into aliveGen exactly like packet charges, so cached alive
+// subsets notice a browned-out death. Unconstrained meters (actuators) are
+// unaffected. Returns the Joules drained.
+func (w *World) DrainBattery(id NodeID, fraction float64) float64 {
+	n := w.nodes[id]
+	if n.Meter.Budget() <= 0 || fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	j := n.Meter.Drain(fraction * n.Meter.Remaining())
+	w.stats.EnergyDrained += j
+	w.noteDepletion(n)
+	return j
 }
 
 // noteDepletion folds a battery-depletion transition into aliveGen so the
@@ -437,6 +497,9 @@ func (w *World) neighborCache(from NodeID) *nodeCache {
 		return c
 	}
 	w.stats.NeighborRebuilds++
+	if w.borrowShadows != nil {
+		w.verifyBorrowedNeighbors(from, c)
+	}
 	n := w.nodes[from]
 	p := n.Mob.At(now)
 	w.scratch = w.grid.Within(w.scratch[:0], p, n.Range+w.querySlack(now), int(from))
@@ -469,6 +532,9 @@ func (w *World) neighborCache(from NodeID) *nodeCache {
 	c.gen = w.topoGen
 	c.valid = true
 	c.aliveValid = false
+	if w.borrowShadows != nil {
+		w.snapshotBorrowedNeighbors(from, c)
+	}
 	return c
 }
 
@@ -494,6 +560,9 @@ func (w *World) Neighbors(dst []NodeID, from NodeID) []NodeID {
 func (w *World) AliveNeighbors(dst []NodeID, from NodeID) []NodeID {
 	c := w.neighborCache(from)
 	if !c.aliveValid || c.aliveGen != w.aliveGen {
+		if w.borrowShadows != nil {
+			w.verifyBorrowedAlive(from, c)
+		}
 		c.alive = c.alive[:0]
 		for _, id := range c.nb {
 			if w.nodes[id].Alive() {
@@ -502,6 +571,9 @@ func (w *World) AliveNeighbors(dst []NodeID, from NodeID) []NodeID {
 		}
 		c.aliveGen = w.aliveGen
 		c.aliveValid = true
+		if w.borrowShadows != nil {
+			w.snapshotBorrowedAlive(from, c)
+		}
 	}
 	if dst == nil {
 		return c.alive
@@ -596,6 +668,12 @@ func (w *World) Send(from, to NodeID, ledger energy.Ledger, onDone func(Outcome)
 	case !receiver.Alive():
 		w.tracer.RadioSend(false)
 		done(ReceiverFailed, end+w.cfg.AckTimeout)
+	case w.linkLoss > 0 && w.rng.Float64() < w.linkLoss:
+		// Guarded on linkLoss > 0 so the zero-loss path draws no RNG and
+		// replays of non-chaos runs stay byte-identical.
+		w.stats.LostSends++
+		w.tracer.RadioSend(false)
+		done(Lost, end+w.cfg.AckTimeout)
 	default:
 		w.tracer.RadioSend(true)
 		w.chargeRx(receiver, ledger)

@@ -26,6 +26,7 @@ package refer
 import (
 	"context"
 
+	"refer/internal/chaos"
 	"refer/internal/core"
 	"refer/internal/datree"
 	"refer/internal/ddear"
@@ -222,6 +223,38 @@ func AllFigures(o Options) ([]Figure, error) { return experiment.AllFigures(o) }
 func AllFiguresContext(ctx context.Context, o Options) ([]Figure, error) {
 	return experiment.AllFiguresContext(ctx, o)
 }
+
+// ---- Deterministic fault injection ----
+
+// ChaosSchedule is a deterministic fault campaign: DES-scheduled crash,
+// blackout, churn, brownout and link-loss events replayed identically for
+// a given seed. Attach one via RunConfig.Chaos (per run) or Options.Chaos
+// (sweep-wide).
+type ChaosSchedule = chaos.Schedule
+
+// ChaosEvent is one scheduled fault event.
+type ChaosEvent = chaos.Event
+
+// ChaosStats counts the fault actions a campaign actually applied.
+type ChaosStats = chaos.Stats
+
+// Chaos event kinds.
+const (
+	ChaosCrash        = chaos.Crash
+	ChaosRecover      = chaos.Recover
+	ChaosBlackout     = chaos.Blackout
+	ChaosActuatorKill = chaos.ActuatorKill
+	ChaosChurn        = chaos.Churn
+	ChaosBrownout     = chaos.Brownout
+	ChaosLinkLoss     = chaos.LinkLoss
+)
+
+// ParseChaosSchedule parses and validates a JSON fault schedule (see
+// EXPERIMENTS.md for the schema).
+func ParseChaosSchedule(data []byte) (*ChaosSchedule, error) { return chaos.Parse(data) }
+
+// LoadChaosSchedule reads a JSON fault schedule from a file.
+func LoadChaosSchedule(path string) (*ChaosSchedule, error) { return chaos.Load(path) }
 
 // ---- Packet tracing ----
 
