@@ -17,8 +17,9 @@ import (
 // whose results are appended to the tree as BENCH_<n>.json files, one per
 // measurement session, so optimization work leaves a comparable record
 // (schema documented in EXPERIMENTS.md). The suite is deliberately small —
-// three microbenchmarks over the simulation hot paths plus one quick
-// Figure 4 sweep — so CI can afford to run it on every change.
+// five microbenchmarks over the simulation hot paths plus two quick sweeps
+// (Figure 4 and the network-growth study) — so CI can afford to run it on
+// every change.
 
 // benchSchema names the BENCH file layout; bump on incompatible change.
 const benchSchema = "refer-bench/1"
@@ -152,6 +153,41 @@ func benchDESChurn() benchMicro {
 	return microResult("des_churn", r)
 }
 
+// benchMaintain measures one topology-maintenance round over a 5,000-sensor,
+// 98-cell lattice deployment (the scale study's mid-size point), advancing
+// the virtual clock one ProbeInterval between rounds so mobility actually
+// re-homes sensors. linear=true runs the pre-index scans (DisableCellIndex);
+// the two entries' ratio is the cell index's per-round saving.
+func benchMaintain(linear bool) (benchMicro, error) {
+	w := refer.BuildWorld(refer.ScenarioParams{Seed: 1, Sensors: 5000, MaxSpeed: 1, ActuatorGrid: 8})
+	cfg := refer.REFERConfig{DisableMaintenance: true, DisableCellIndex: linear}
+	sys := refer.NewREFERWithConfig(w, cfg)
+	if err := sys.Build(); err != nil {
+		return benchMicro{}, err
+	}
+	round := func() {
+		if _, err := w.Sched.After(5*time.Second, func() {}); err != nil {
+			panic(err)
+		}
+		w.Sched.Step()
+		sys.MaintainOnce()
+	}
+	for k := 0; k < 8; k++ {
+		round() // reach steady state before measuring
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			round()
+		}
+	})
+	name := "maintain_once"
+	if linear {
+		name = "maintain_once_linear"
+	}
+	return microResult(name, r), nil
+}
+
 // benchFig4Quick runs the Figure 4 mobility sweep at quick scale (one seed,
 // short windows) and reports its wall time — the suite's end-to-end number.
 func benchFig4Quick() (benchMacro, error) {
@@ -166,6 +202,26 @@ func benchFig4Quick() (benchMacro, error) {
 	}
 	return benchMacro{
 		Name:         "fig4_quick",
+		WallSeconds:  fig.Stats.WallClock.Seconds(),
+		Runs:         fig.Stats.Runs,
+		EventsPerSec: fig.Stats.EventsPerSec,
+	}, nil
+}
+
+// benchScaleQuick runs the network-growth delivery sweep (Figure S1: REFER
+// vs its linear-scan ablation at 1,000–10,000 sensors) at quick scale. The
+// 10,000-node points are the suite's largest end-to-end runs.
+func benchScaleQuick() (benchMacro, error) {
+	fig, err := refer.FigS1(refer.Options{
+		Seeds:    []int64{1},
+		Warmup:   5 * time.Second,
+		Duration: 20 * time.Second,
+	})
+	if err != nil {
+		return benchMacro{}, err
+	}
+	return benchMacro{
+		Name:         "scale_quick",
 		WallSeconds:  fig.Stats.WallClock.Seconds(),
 		Runs:         fig.Stats.Runs,
 		EventsPerSec: fig.Stats.EventsPerSec,
@@ -208,12 +264,30 @@ func runBenchSuite(quiet bool) (string, error) {
 	report.Micro = append(report.Micro, benchNeighbors())
 	progress("bench: des_churn...\n")
 	report.Micro = append(report.Micro, benchDESChurn())
+	progress("bench: maintain_once...\n")
+	mi, err := benchMaintain(false)
+	if err != nil {
+		return "", err
+	}
+	report.Micro = append(report.Micro, mi)
+	progress("bench: maintain_once_linear...\n")
+	ml, err := benchMaintain(true)
+	if err != nil {
+		return "", err
+	}
+	report.Micro = append(report.Micro, ml)
 	progress("bench: fig4_quick...\n")
 	fig4, err := benchFig4Quick()
 	if err != nil {
 		return "", err
 	}
 	report.Macro = append(report.Macro, fig4)
+	progress("bench: scale_quick...\n")
+	sq, err := benchScaleQuick()
+	if err != nil {
+		return "", err
+	}
+	report.Macro = append(report.Macro, sq)
 
 	path := nextBenchPath(".")
 	data, err := json.MarshalIndent(report, "", "  ")

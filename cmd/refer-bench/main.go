@@ -58,6 +58,8 @@ func main() {
 		traceN     = flag.Int("trace", 0, "attach packet tracing to every run, keeping every Nth packet's event stream (0 = off)")
 		chaosPath  = flag.String("chaos", "", "attach the fault-injection schedule in this JSON file to every run (see EXPERIMENTS.md)")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
+		warmup     = flag.Duration("warmup", 0, "override the warmup window (e.g. 5s; mainly for quick -fig S* passes)")
+		duration   = flag.Duration("duration", 0, "override the measurement window (e.g. 20s)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		figs       figList
@@ -111,6 +113,12 @@ func main() {
 			opts.Seeds = append(opts.Seeds, int64(i))
 		}
 	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *duration > 0 {
+		opts.Duration = *duration
+	}
 	if !*quiet {
 		opts.Progress = func(ev refer.ProgressEvent) {
 			fmt.Fprintf(os.Stderr, "\rfig %-3s %3d/%-3d runs  %8s ",
@@ -119,7 +127,9 @@ func main() {
 	}
 
 	// Select figures from the registry: the paper set by default, every
-	// kind with -extras, or exactly the ones named with -fig.
+	// kind except the network-growth study with -extras (its 10,000-node
+	// points dwarf everything else; ask for S1–S3 explicitly with -fig), or
+	// exactly the ones named with -fig.
 	var selected []refer.FigureSpec
 	if len(figs) > 0 {
 		for _, id := range figs {
@@ -137,7 +147,7 @@ func main() {
 		}
 	} else {
 		for _, spec := range refer.Figures() {
-			if spec.Kind == refer.KindPaper || *extras {
+			if spec.Kind == refer.KindPaper || (*extras && spec.Kind != refer.KindScale) {
 				selected = append(selected, spec)
 			}
 		}

@@ -101,6 +101,26 @@ func (s *System) Build() error {
 		s.cells = append(s.cells, cell)
 		s.cellByCID[cell.CID] = cell
 	}
+	// The cell spatial index: triangles are fixed for the system's lifetime,
+	// so it is built once here and every position→cell lookup (sensor homing,
+	// DHT adjacency) runs against it instead of scanning s.cells.
+	if !s.cfg.DisableCellIndex {
+		tris := make([][3]geo.Point, len(s.cells))
+		for i, c := range s.cells {
+			tris[i] = c.Vertices
+		}
+		s.cellIndex = geo.NewTriIndex(tris)
+	}
+	// Corner actuators enter the member→cell map in s.cells order, so an
+	// actuator shared by several cells resolves to its first cell — the
+	// tie-break the entry-selection scan used.
+	for _, c := range s.cells {
+		for _, corner := range c.Corners {
+			if _, ok := s.memberCell[corner]; !ok {
+				s.memberCell[corner] = c
+			}
+		}
+	}
 
 	// The starting server notifies every actuator of its ID along a DFS of
 	// the actuator topology: one unicast per tree edge.
@@ -282,26 +302,59 @@ func (s *System) assignCellSensors() {
 			continue
 		}
 		p := s.w.Position(n.ID)
-		var owner *Cell
-		for _, c := range s.cells {
-			if c.contains(p, 0) {
-				owner = c
-				break
-			}
+		if s.cellIndex != nil {
+			s.notePosition(n.ID, p)
 		}
-		if owner == nil {
-			bestDist := s.cfg.CellMargin
-			for _, c := range s.cells {
-				if d := c.distance(p); d <= bestDist {
-					owner, bestDist = c, d
-				}
-			}
-		}
+		owner := s.homeCell(p)
 		if owner != nil {
 			owner.members[n.ID] = true
 			s.sensorCell[n.ID] = owner
 		}
 	}
+}
+
+// homeCell returns the cell a sensor at p belongs to: the first cell (in
+// s.cells order) whose triangle contains p, else the nearest cell within
+// CellMargin, else nil. The indexed and linear paths give byte-identical
+// answers (TriIndex preserves the scans' first-hit and last-equal-distance
+// tie-breaks); the linear path remains as the DisableCellIndex ablation and
+// the property-test reference.
+func (s *System) homeCell(p geo.Point) *Cell {
+	if s.cellIndex != nil {
+		if ti := s.cellIndex.Containing(p); ti >= 0 {
+			return s.cells[ti]
+		}
+		if ti := s.cellIndex.NearestWithin(p, s.cfg.CellMargin); ti >= 0 {
+			return s.cells[ti]
+		}
+		return nil
+	}
+	for _, c := range s.cells {
+		s.stats.MaintainChecks++
+		if c.contains(p, 0) {
+			return c
+		}
+	}
+	var owner *Cell
+	bestDist := s.cfg.CellMargin
+	for _, c := range s.cells {
+		s.stats.MaintainChecks++
+		if d := c.distance(p); d <= bestDist {
+			owner, bestDist = c, d
+		}
+	}
+	return owner
+}
+
+// notePosition memoizes the position a sensor was last homed at (growing
+// the memo to cover the world's node count on first use).
+func (s *System) notePosition(id world.NodeID, p geo.Point) {
+	for len(s.homePos) <= int(id) {
+		s.homePos = append(s.homePos, geo.Point{})
+		s.homeValid = append(s.homeValid, false)
+	}
+	s.homePos[id] = p
+	s.homeValid[id] = true
 }
 
 // embedCell selects sensors for the nine non-corner KIDs of a cell
@@ -391,10 +444,15 @@ func (s *System) embedCell(c *Cell) error {
 	return nil
 }
 
-// assignKID records a sensor's KID in its cell.
+// assignKID records a sensor's KID in its cell and registers the sensor as
+// an overlay member for entry selection (a sensor serves at most one cell's
+// overlay, so first registration wins — matching the cells-order scan).
 func (s *System) assignKID(c *Cell, id world.NodeID, kid kautz.ID) {
 	c.NodeByKID[kid] = id
 	c.kidOfNode[id] = kid
+	if _, ok := s.memberCell[id]; !ok {
+		s.memberCell[id] = c
+	}
 }
 
 // sensorRange returns the link range for sensor-involving links: overlay
@@ -505,18 +563,25 @@ func (s *System) selectBestConnected(c *Cell, kid kautz.ID) (world.NodeID, error
 }
 
 // candidatePool returns the alive, unassigned sensors of a cell sorted by
-// ID (deterministic iteration).
+// ID (deterministic iteration). The returned slice is the system's reused
+// buffer: it is only borrowed, valid until the next candidatePool call, and
+// sorted by insertion into the retained storage so the per-round maintenance
+// path allocates nothing at steady state.
 func (s *System) candidatePool(c *Cell) []world.NodeID {
-	pool := make([]world.NodeID, 0, len(c.members))
+	pool := s.poolBuf[:0]
 	for id := range c.members {
 		if _, taken := c.kidOfNode[id]; taken {
 			continue
 		}
-		if s.w.Node(id).Alive() {
-			pool = append(pool, id)
+		if !s.w.Node(id).Alive() {
+			continue
+		}
+		pool = append(pool, id)
+		for j := len(pool) - 1; j > 0 && pool[j] < pool[j-1]; j-- {
+			pool[j], pool[j-1] = pool[j-1], pool[j]
 		}
 	}
-	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	s.poolBuf = pool
 	return pool
 }
 
@@ -525,17 +590,22 @@ func (s *System) candidatePool(c *Cell) []world.NodeID {
 // radio range.
 func (s *System) buildDHT() error {
 	zones := make([]can.Zone, 0, len(s.cells))
-	adjacency := make(map[int][]int, len(s.cells))
 	for _, c := range s.cells {
 		zones = append(zones, can.Zone{CID: c.CID, Coord: c.Centroid})
 	}
-	for i, a := range s.cells {
-		for j, b := range s.cells {
-			if i == j {
-				continue
-			}
-			if cellsAdjacent(s.w, a, b) {
-				adjacency[a.CID] = append(adjacency[a.CID], b.CID)
+	var adjacency map[int][]int
+	if s.cellIndex != nil {
+		adjacency = s.cellAdjacencyIndexed()
+	} else {
+		adjacency = make(map[int][]int, len(s.cells))
+		for i, a := range s.cells {
+			for j, b := range s.cells {
+				if i == j {
+					continue
+				}
+				if cellsAdjacent(s.w, a, b) {
+					adjacency[a.CID] = append(adjacency[a.CID], b.CID)
+				}
 			}
 		}
 	}
@@ -545,6 +615,116 @@ func (s *System) buildDHT() error {
 	}
 	s.dht = &dhtTier{table: table}
 	return nil
+}
+
+// cellAdjacencyIndexed derives the same cell adjacency as the O(cells²)
+// cellsAdjacent pair loop, but from the actuator side: two cells are
+// adjacent exactly when some corner pair is the same actuator or a pair in
+// mutual radio range, so it suffices to enumerate qualifying actuator pairs
+// — found through a spatial grid over actuator positions instead of cell
+// pairs — and connect the cells cornered on them. Pairs reached through
+// several corner combinations are deduplicated (the pair loop emitted each
+// ordered cell pair at most once).
+func (s *System) cellAdjacencyIndexed() map[int][]int {
+	// cellsOf[i] lists the cells cornered on actuator index i, in cell order.
+	positions := make([]geo.Point, len(s.actuators))
+	actIndex := make(map[world.NodeID]int, len(s.actuators))
+	for i, a := range s.actuators {
+		positions[i] = s.w.Position(a)
+		actIndex[a] = i
+	}
+	cellsOf := make([][]*Cell, len(s.actuators))
+	for _, c := range s.cells {
+		for _, corner := range c.Corners {
+			i := actIndex[corner]
+			cellsOf[i] = append(cellsOf[i], c)
+		}
+	}
+
+	adjSet := make([]map[int]bool, len(s.cells))
+	connect := func(a, b *Cell) {
+		if a.CID == b.CID {
+			return
+		}
+		if adjSet[a.CID] == nil {
+			adjSet[a.CID] = make(map[int]bool, 8)
+		}
+		if adjSet[b.CID] == nil {
+			adjSet[b.CID] = make(map[int]bool, 8)
+		}
+		adjSet[a.CID][b.CID] = true
+		adjSet[b.CID][a.CID] = true
+	}
+
+	// Shared corner: every pair of cells on the same actuator is adjacent.
+	for i := range cellsOf {
+		for x, a := range cellsOf[i] {
+			for _, b := range cellsOf[i][x+1:] {
+				connect(a, b)
+			}
+		}
+	}
+
+	// Mutual radio range: candidate partners come from a grid query with the
+	// querying actuator's own range; the exact mutual check matches the
+	// cellsAdjacent predicate bit for bit.
+	region := geo.Rect{Min: positions[0], Max: positions[0]}
+	maxRange := 0.0
+	for i, p := range positions {
+		if p.X < region.Min.X {
+			region.Min.X = p.X
+		}
+		if p.Y < region.Min.Y {
+			region.Min.Y = p.Y
+		}
+		if p.X > region.Max.X {
+			region.Max.X = p.X
+		}
+		if p.Y > region.Max.Y {
+			region.Max.Y = p.Y
+		}
+		if r := s.w.Node(s.actuators[i]).Range; r > maxRange {
+			maxRange = r
+		}
+	}
+	grid := geo.NewGrid(region, maxRange/2+1)
+	for i, p := range positions {
+		grid.Insert(i, p)
+	}
+	var nearby []int
+	for i, p := range positions {
+		ri := s.w.Node(s.actuators[i]).Range
+		nearby = grid.Within(nearby[:0], p, ri, i)
+		for _, j := range nearby {
+			if j <= i {
+				continue // each unordered actuator pair handled once
+			}
+			d := positions[i].Dist(positions[j])
+			rj := s.w.Node(s.actuators[j]).Range
+			if d > ri || d > rj {
+				continue
+			}
+			for _, a := range cellsOf[i] {
+				for _, b := range cellsOf[j] {
+					connect(a, b)
+				}
+			}
+		}
+	}
+
+	adjacency := make(map[int][]int, len(s.cells))
+	for cid, set := range adjSet {
+		if len(set) == 0 {
+			continue
+		}
+		nbs := make([]int, 0, len(set))
+		for nb := range set {
+			nbs = append(nbs, nb)
+		}
+		sort.Ints(nbs)
+		adjacency[cid] = nbs
+	}
+	return adjacency
 }
 
 // cellsAdjacent reports whether two cells share an actuator or have a pair

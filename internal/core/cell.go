@@ -26,6 +26,31 @@ type Cell struct {
 	// members are the plain (non-overlay) sensors associated with the cell:
 	// the sleep/wait population that candidates are drawn from.
 	members map[world.NodeID]bool
+
+	// kidOrder caches the cell's KIDs in ascending order so each maintenance
+	// round iterates deterministically without rebuilding and re-sorting the
+	// slice. KIDs are only ever added (during Build); replacement reassigns
+	// a KID's holder but never the KID set, so the cache is valid exactly
+	// when its length matches NodeByKID.
+	kidOrder []kautz.ID
+}
+
+// sortedKIDs returns the cell's KIDs in ascending order, served from the
+// cache once the embedding is complete. The rebuild uses an insertion sort
+// into the retained buffer so steady-state maintenance stays allocation-free.
+func (c *Cell) sortedKIDs() []kautz.ID {
+	if len(c.kidOrder) != len(c.NodeByKID) {
+		c.kidOrder = c.kidOrder[:0]
+		for kid := range c.NodeByKID {
+			c.kidOrder = append(c.kidOrder, kid)
+		}
+		for i := 1; i < len(c.kidOrder); i++ {
+			for j := i; j > 0 && c.kidOrder[j] < c.kidOrder[j-1]; j-- {
+				c.kidOrder[j], c.kidOrder[j-1] = c.kidOrder[j-1], c.kidOrder[j]
+			}
+		}
+	}
+	return c.kidOrder
 }
 
 // KIDOf returns the node's Kautz ID within this cell.
@@ -66,7 +91,7 @@ func (c *Cell) Members() []world.NodeID {
 // margin meters (a point within margin of the triangle counts).
 func (c *Cell) contains(p geo.Point, margin float64) bool {
 	a, b, d := c.Vertices[0], c.Vertices[1], c.Vertices[2]
-	if pointInTriangle(p, a, b, d) {
+	if geo.PointInTriangle(p, a, b, d) {
 		return true
 	}
 	return margin > 0 && c.distance(p) <= margin
@@ -74,49 +99,7 @@ func (c *Cell) contains(p geo.Point, margin float64) bool {
 
 // distance returns how far p lies outside the cell triangle (0 if inside).
 func (c *Cell) distance(p geo.Point) float64 {
-	a, b, d := c.Vertices[0], c.Vertices[1], c.Vertices[2]
-	if pointInTriangle(p, a, b, d) {
-		return 0
-	}
-	dist := distToSegment(p, a, b)
-	if e := distToSegment(p, b, d); e < dist {
-		dist = e
-	}
-	if e := distToSegment(p, d, a); e < dist {
-		dist = e
-	}
-	return dist
-}
-
-func pointInTriangle(p, a, b, c geo.Point) bool {
-	d1 := signedArea(a, b, p)
-	d2 := signedArea(b, c, p)
-	d3 := signedArea(c, a, p)
-	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
-	hasPos := d1 > 0 || d2 > 0 || d3 > 0
-	return !(hasNeg && hasPos)
-}
-
-func signedArea(a, b, c geo.Point) float64 {
-	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
-}
-
-func distToSegment(p, a, b geo.Point) float64 {
-	ab := b.Sub(a)
-	ap := p.Sub(a)
-	den := ab.X*ab.X + ab.Y*ab.Y
-	if den == 0 {
-		return p.Dist(a)
-	}
-	t := (ap.X*ab.X + ap.Y*ab.Y) / den
-	if t < 0 {
-		t = 0
-	}
-	if t > 1 {
-		t = 1
-	}
-	proj := a.Add(ab.X*t, ab.Y*t)
-	return p.Dist(proj)
+	return geo.DistToTriangle(p, c.Vertices[0], c.Vertices[1], c.Vertices[2])
 }
 
 // pathKIDs returns the two sensor KIDs on the Kautz path from corner KID x

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"refer/internal/energy"
 	"refer/internal/geo"
@@ -92,8 +91,7 @@ func (s *System) selectWavefrontSensor(c *Cell, kid kautz.ID) (world.NodeID, err
 	for i, p := range partners {
 		positions[i] = s.w.Position(p)
 	}
-	pool := s.candidatePool(c)
-	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	pool := s.candidatePool(c) // already ID-sorted
 	best := world.NoNode
 	bestConn, bestScore, bestTight := 0, -1.0, 0.0
 	for _, cand := range pool {

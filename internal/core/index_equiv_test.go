@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"refer/internal/scenario"
+	"refer/internal/world"
+)
+
+// Equivalence suite for the cell index: REFER built with the spatial index
+// must be state-identical to REFER built with DisableCellIndex on the same
+// seeded world, through construction, mobility, maintenance and churn. The
+// only permitted divergence is the MaintainChecks work counter (the index's
+// whole point is doing fewer predicate evaluations).
+
+// buildPair builds the indexed and linear-scan systems on two identically
+// seeded worlds (systems share nothing; the worlds evolve in lockstep
+// because every draw and event is replayed from the same seed).
+func buildPair(t *testing.T, p scenario.Params) (wi, wl *world.World, si, sl *System) {
+	t.Helper()
+	wi, wl = scenario.Build(p), scenario.Build(p)
+	cfgIdx := DefaultConfig()
+	cfgIdx.DisableMaintenance = true // rounds driven manually below
+	cfgLin := cfgIdx
+	cfgLin.DisableCellIndex = true
+	si, sl = New(wi, cfgIdx), New(wl, cfgLin)
+	if err := si.Build(); err != nil {
+		t.Fatalf("indexed Build: %v", err)
+	}
+	if err := sl.Build(); err != nil {
+		t.Fatalf("linear Build: %v", err)
+	}
+	return wi, wl, si, sl
+}
+
+// requireSameState compares every piece of membership state the index
+// touches: cell populations, KID assignments, sensor homes, and the
+// member→cell map against the linear system's equivalent lookups.
+func requireSameState(t *testing.T, si, sl *System) {
+	t.Helper()
+	if len(si.cells) != len(sl.cells) {
+		t.Fatalf("cells: %d vs %d", len(si.cells), len(sl.cells))
+	}
+	for i, ci := range si.cells {
+		cl := sl.cells[i]
+		if ci.CID != cl.CID {
+			t.Fatalf("cell %d CID %d vs %d", i, ci.CID, cl.CID)
+		}
+		if len(ci.NodeByKID) != len(cl.NodeByKID) {
+			t.Fatalf("cell %d overlay size %d vs %d", i, len(ci.NodeByKID), len(cl.NodeByKID))
+		}
+		for kid, id := range ci.NodeByKID {
+			if cl.NodeByKID[kid] != id {
+				t.Fatalf("cell %d KID %s: node %d vs %d", i, kid, id, cl.NodeByKID[kid])
+			}
+		}
+		if len(ci.members) != len(cl.members) {
+			t.Fatalf("cell %d members %d vs %d", i, len(ci.members), len(cl.members))
+		}
+		for id := range ci.members {
+			if !cl.members[id] {
+				t.Fatalf("cell %d member %d missing from linear system", i, id)
+			}
+		}
+	}
+	if len(si.sensorCell) != len(sl.sensorCell) {
+		t.Fatalf("sensorCell size %d vs %d", len(si.sensorCell), len(sl.sensorCell))
+	}
+	for id, ci := range si.sensorCell {
+		cl, ok := sl.sensorCell[id]
+		if !ok || ci.CID != cl.CID {
+			t.Fatalf("sensor %d homed to CID %d, linear disagrees (%v)", id, ci.CID, cl)
+		}
+	}
+	stI, stL := si.Stats(), sl.Stats()
+	stI.MaintainChecks, stL.MaintainChecks = 0, 0
+	if stI != stL {
+		t.Fatalf("stats diverged:\nindexed: %+v\nlinear:  %+v", stI, stL)
+	}
+}
+
+// requireSameEntry compares entryPoint for every node of the pair.
+func requireSameEntry(t *testing.T, wi *world.World, si, sl *System) {
+	t.Helper()
+	for _, n := range wi.Nodes() {
+		ni, ci := si.entryPoint(n.ID)
+		nl, cl := sl.entryPoint(n.ID)
+		if ni != nl {
+			t.Fatalf("entryPoint(%d): node %d vs %d", n.ID, ni, nl)
+		}
+		if (ci == nil) != (cl == nil) || (ci != nil && ci.CID != cl.CID) {
+			t.Fatalf("entryPoint(%d): cell %v vs %v", n.ID, ci, cl)
+		}
+	}
+}
+
+// step advances both worlds' virtual clocks by d through a no-op event.
+func step(t *testing.T, wi, wl *world.World, d time.Duration) {
+	t.Helper()
+	for _, w := range []*world.World{wi, wl} {
+		if _, err := w.Sched.After(d, func() {}); err != nil {
+			t.Fatal(err)
+		}
+		w.Sched.Step()
+	}
+}
+
+func TestIndexedEquivalenceUnderMobilityAndChurn(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    scenario.Params
+	}{
+		{"paper-4cell", scenario.Params{Seed: 3, Sensors: 250, MaxSpeed: 2}},
+		{"lattice-18cell", scenario.Params{Seed: 5, Sensors: 900, MaxSpeed: 2, ActuatorGrid: 4}},
+		{"static", scenario.Params{Seed: 7, Sensors: 250}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			wi, wl, si, sl := buildPair(t, tc.p)
+			requireSameState(t, si, sl)
+			requireSameEntry(t, wi, si, sl)
+			sensors := scenario.SensorIDs(wi)
+			for round := 0; round < 12; round++ {
+				step(t, wi, wl, 5*time.Second)
+				// Churn: fail a rotating slice of sensors, recover the
+				// previous slice — identical on both worlds.
+				lo := (round * 13) % len(sensors)
+				for i := lo; i < lo+9 && i < len(sensors); i++ {
+					wi.SetFailed(sensors[i], round%2 == 0)
+					wl.SetFailed(sensors[i], round%2 == 0)
+				}
+				si.MaintainOnce()
+				sl.MaintainOnce()
+				requireSameState(t, si, sl)
+				requireSameEntry(t, wi, si, sl)
+			}
+			if si.Stats().Rehomes != sl.Stats().Rehomes {
+				t.Fatalf("Rehomes %d vs %d", si.Stats().Rehomes, sl.Stats().Rehomes)
+			}
+			if tc.p.MaxSpeed > 0 && si.Stats().MaintainChecks >= sl.Stats().MaintainChecks {
+				t.Fatalf("index did not reduce work: %d vs %d checks",
+					si.Stats().MaintainChecks, sl.Stats().MaintainChecks)
+			}
+		})
+	}
+}
+
+// TestMaintainOnceAllocationFree pins the steady-state maintenance round on
+// a static deployment to zero heap allocations: the sorted-KID cache, the
+// pooled candidate buffer, and the static-world membership short-circuit
+// together leave nothing to allocate.
+func TestMaintainOnceAllocationFree(t *testing.T) {
+	w := scenario.Build(scenario.Params{Seed: 1, Sensors: 300})
+	cfg := DefaultConfig()
+	cfg.DisableMaintenance = true
+	s := New(w, cfg)
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: per-node neighbor-cache buffers are allocated once per
+	// process on first query (the random prober draw touches arbitrary
+	// sensors), so warm every node's buffer before measuring.
+	for _, n := range w.Nodes() {
+		w.AliveNeighbors(nil, n.ID)
+	}
+	for i := 0; i < 4; i++ {
+		s.MaintainOnce() // warm the KID and candidate-pool caches
+	}
+	if avg := testing.AllocsPerRun(50, s.MaintainOnce); avg != 0 {
+		t.Fatalf("MaintainOnce allocates %.1f per round, want 0", avg)
+	}
+}

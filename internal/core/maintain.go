@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"refer/internal/energy"
 	"refer/internal/kautz"
 	"refer/internal/world"
@@ -36,6 +34,11 @@ func (s *System) scheduleMaintenance() {
 // drain the event queue to completion).
 func (s *System) StopMaintenance() { s.maintenanceOn = false }
 
+// MaintainOnce runs one maintenance round synchronously — the hook the
+// maintain_once benchmark and the scale tests drive directly (the scheduled
+// tick calls the same routine every ProbeInterval).
+func (s *System) MaintainOnce() { s.maintainOnce() }
+
 // maintainOnce performs one maintenance round: refresh cell membership
 // under mobility, then every cell checks its Kautz sensors and replaces
 // degraded ones with wait-state candidates.
@@ -48,13 +51,8 @@ func (s *System) maintainOnce() {
 		if prober := s.pickProber(c); prober != world.NoNode {
 			s.w.Broadcast(prober, energy.Communication, nil)
 		}
-		// Deterministic KID order.
-		kids := make([]kautz.ID, 0, len(c.NodeByKID))
-		for kid := range c.NodeByKID {
-			kids = append(kids, kid)
-		}
-		sort.Slice(kids, func(i, j int) bool { return kids[i] < kids[j] })
-		for _, kid := range kids {
+		// Deterministic KID order, served from the cell's cache.
+		for _, kid := range c.sortedKIDs() {
 			id := c.NodeByKID[kid]
 			if c.IsActuatorKID(kid) {
 				continue // corners are actuators; sensors cannot replace them
@@ -85,7 +83,18 @@ func (s *System) maintainOnce() {
 // currently occupy: mobility carries sleep-state sensors across cells, and
 // the candidate pools must track that. Overlay members keep their cell
 // until replaced.
+//
+// Cell ownership is a pure function of position (triangles are fixed at
+// build time), so the indexed path is incremental two ways: a fully static
+// world (the world's speed bound is zero) skips the loop outright, and a
+// sensor whose position equals the one it was last homed at skips its
+// lookup. Both skips are exact — recomputation could not change the answer
+// — and the linear-scan ablation takes neither, reproducing the pre-index
+// per-round cost.
 func (s *System) refreshMembership() {
+	if s.cellIndex != nil && s.w.MaxSpeed() == 0 && len(s.homeValid) >= s.w.Len() {
+		return
+	}
 	for _, n := range s.w.Nodes() {
 		if n.Kind != world.Sensor {
 			continue
@@ -97,24 +106,17 @@ func (s *System) refreshMembership() {
 			}
 		}
 		p := s.w.Position(n.ID)
-		var owner *Cell
-		for _, c := range s.cells {
-			if c.contains(p, 0) {
-				owner = c
-				break
+		if s.cellIndex != nil {
+			if int(n.ID) < len(s.homeValid) && s.homeValid[n.ID] && s.homePos[n.ID] == p {
+				continue
 			}
+			s.notePosition(n.ID, p)
 		}
-		if owner == nil {
-			bestDist := s.cfg.CellMargin
-			for _, c := range s.cells {
-				if d := c.distance(p); d <= bestDist {
-					owner, bestDist = c, d
-				}
-			}
-		}
+		owner := s.homeCell(p)
 		if owner == cur {
 			continue
 		}
+		s.stats.Rehomes++
 		if cur != nil {
 			delete(cur.members, n.ID)
 			delete(s.sensorCell, n.ID)
@@ -189,6 +191,10 @@ func (s *System) replace(c *Cell, kid kautz.ID, old world.NodeID) {
 	delete(c.members, best)
 	c.NodeByKID[kid] = best
 	c.kidOfNode[best] = kid
+	// Keep the member→cell map in step: sensors hold at most one KID, so the
+	// demoted node leaves the map and its successor takes its place.
+	delete(s.memberCell, old)
+	s.memberCell[best] = c
 	s.stats.Replacements++
 }
 

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"refer/internal/geo"
 	"refer/internal/kautz"
 	"refer/internal/world"
 )
@@ -60,6 +61,15 @@ type Config struct {
 	// forwarding decision. Benchmark/ablation knob for quantifying the
 	// table's saving; routing behavior is identical either way.
 	DisableRouteTable bool
+	// DisableCellIndex reverts every cell lookup to the pre-index linear
+	// scans — O(sensors × cells) membership re-homing each probe round,
+	// per-candidate cell scans in entry selection, and the O(cells²)
+	// DHT-adjacency pair loop — and turns off the incremental position memo
+	// that skips unmoved sensors. Benchmark/ablation knob for the scale
+	// study: results are identical either way (the index preserves the
+	// scans' first-cell and smaller-ID tie-breaks exactly); only the work
+	// per maintenance round changes.
+	DisableCellIndex bool
 }
 
 // DefaultConfig returns the paper's cell configuration.
@@ -98,6 +108,21 @@ type System struct {
 	sensorCell map[world.NodeID]*Cell
 	actuators  []world.NodeID
 
+	// cellIndex locates cells by position (nil under DisableCellIndex);
+	// memberCell maps every overlay member to its first cell in s.cells
+	// order, replacing the per-candidate cell scans of entry selection.
+	cellIndex  *geo.TriIndex
+	memberCell map[world.NodeID]*Cell
+	// homePos/homeValid memoize each sensor's position at its last homing
+	// decision: cell triangles are fixed at build time, so ownership is a
+	// pure function of position and an unmoved sensor can skip re-homing
+	// exactly. Indexed by NodeID; unused under DisableCellIndex.
+	homePos   []geo.Point
+	homeValid []bool
+	// poolBuf is the reused candidatePool buffer (single-threaded runs; the
+	// returned slice is borrowed until the next candidatePool call).
+	poolBuf []world.NodeID
+
 	built         bool
 	maintenanceOn bool
 	degradedAt    map[world.NodeID]time.Duration
@@ -119,6 +144,13 @@ type Stats struct {
 	// computed directly from the IDs.
 	RouteCacheHits   int
 	RouteCacheMisses int
+	// MaintainChecks counts cell containment/distance predicate evaluations
+	// spent homing sensors (construction assignment plus every maintenance
+	// round) — the membership-maintenance cost the cell index attacks. The
+	// counter is deterministic per seed, so the scale figure can plot it.
+	MaintainChecks int
+	// Rehomes counts sensors whose cell actually changed during maintenance.
+	Rehomes int
 }
 
 // New creates an unbuilt REFER system on w.
@@ -143,6 +175,7 @@ func New(w *world.World, cfg Config) *System {
 		cfg:        cfg,
 		cellByCID:  make(map[int]*Cell),
 		sensorCell: make(map[world.NodeID]*Cell),
+		memberCell: make(map[world.NodeID]*Cell),
 		degradedAt: make(map[world.NodeID]time.Duration),
 	}
 }
@@ -150,8 +183,17 @@ func New(w *world.World, cfg Config) *System {
 // Name implements the System interface.
 func (s *System) Name() string { return "REFER" }
 
-// Stats returns a snapshot of the protocol counters.
-func (s *System) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the protocol counters. The homing predicate
+// evaluations the cell index performed internally are folded into
+// MaintainChecks here, so the counter is comparable across the indexed and
+// linear-scan configurations without the indexed hot path touching stats.
+func (s *System) Stats() Stats {
+	st := s.stats
+	if s.cellIndex != nil {
+		st.MaintainChecks += int(s.cellIndex.Checks())
+	}
+	return st
+}
 
 // Cells returns the built cells.
 func (s *System) Cells() []*Cell { return s.cells }

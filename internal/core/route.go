@@ -252,6 +252,42 @@ func (s *System) SendTo(src world.NodeID, dst Address, done func(ok bool)) {
 // own entry. Otherwise the nearest alive overlay member within radio range
 // is chosen.
 func (s *System) entryPoint(src world.NodeID) (world.NodeID, *Cell) {
+	if s.cfg.DisableCellIndex {
+		return s.entryPointScan(src)
+	}
+	// memberCell maps every overlay member — actuator or sensor — to its
+	// first cell in s.cells order, so both "src is already a member" branches
+	// of the scan collapse into one map hit.
+	if c := s.memberCell[src]; c != nil {
+		return src, c
+	}
+	// Plain sensor: attach to the nearest alive overlay member in range.
+	// Candidates come from the world's cached alive-neighbor set — the
+	// packet's own radio neighborhood — instead of a scan over every overlay
+	// member of every cell. Ties on distance break on the smaller node ID; a
+	// member sitting in several cells (a shared-corner actuator) resolves to
+	// its first cell in s.cells order, both exactly as the old full scan did.
+	best := world.NoNode
+	var bestCell *Cell
+	bestDist := 0.0
+	p := s.w.Position(src)
+	for _, id := range s.w.AliveNeighbors(nil, src) {
+		d := p.Dist(s.w.Position(id))
+		if best != world.NoNode && (d > bestDist || (d == bestDist && id > best)) {
+			continue
+		}
+		cell := s.memberCell[id]
+		if cell == nil {
+			continue // in range and alive, but not an overlay member
+		}
+		best, bestCell, bestDist = id, cell, d
+	}
+	return best, bestCell
+}
+
+// entryPointScan is entryPoint's pre-index form, kept verbatim for the
+// DisableCellIndex ablation: per-candidate linear scans over s.cells.
+func (s *System) entryPointScan(src world.NodeID) (world.NodeID, *Cell) {
 	if c, ok := s.sensorCell[src]; ok {
 		if _, isMember := c.kidOfNode[src]; isMember {
 			return src, c
@@ -263,12 +299,6 @@ func (s *System) entryPoint(src world.NodeID) (world.NodeID, *Cell) {
 			return src, c
 		}
 	}
-	// Plain sensor: attach to the nearest alive overlay member in range.
-	// Candidates come from the world's cached alive-neighbor set — the
-	// packet's own radio neighborhood — instead of a scan over every overlay
-	// member of every cell. Ties on distance break on the smaller node ID; a
-	// member sitting in several cells (a shared-corner actuator) resolves to
-	// its first cell in s.cells order, both exactly as the old full scan did.
 	best := world.NoNode
 	var bestCell *Cell
 	bestDist := 0.0
@@ -286,7 +316,7 @@ func (s *System) entryPoint(src world.NodeID) (world.NodeID, *Cell) {
 			}
 		}
 		if cell == nil {
-			continue // in range and alive, but not an overlay member
+			continue
 		}
 		best, bestCell, bestDist = id, cell, d
 	}

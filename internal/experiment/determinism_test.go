@@ -221,3 +221,47 @@ func TestReplayTableMatchesDirect(t *testing.T) {
 		t.Fatalf("route table changed routing behavior:\ncached = %+v\ndirect = %+v", cached, direct)
 	}
 }
+
+// TestReplayLinearScanMatchesIndexed checks the cell index is a pure
+// accelerator: the same seeded run with and without it yields identical
+// results apart from the System label, the MaintainChecks work counter
+// (fewer predicate evaluations is the index's entire effect) and host
+// timing. Uses a lattice deployment so the index has many cells to get
+// wrong.
+func TestReplayLinearScanMatchesIndexed(t *testing.T) {
+	cfg := RunConfig{
+		Scenario: scenario.Params{
+			Seed:         7,
+			Sensors:      900,
+			MaxSpeed:     2,
+			ActuatorGrid: 4,
+		},
+		Warmup:     50 * time.Second,
+		Duration:   150 * time.Second,
+		FaultCount: 4,
+	}
+	cfg.System = SystemREFER
+	indexed, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.System = SystemREFERLinearScan
+	linear, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if indexed.Stats.MaintainChecks >= linear.Stats.MaintainChecks {
+		t.Fatalf("index did not reduce maintenance work: %d vs %d checks",
+			indexed.Stats.MaintainChecks, linear.Stats.MaintainChecks)
+	}
+	if indexed.Stats.Rehomes != linear.Stats.Rehomes {
+		t.Fatalf("Rehomes diverged: %d vs %d", indexed.Stats.Rehomes, linear.Stats.Rehomes)
+	}
+	linear.System = indexed.System
+	indexed.Stats = indexed.Stats.StripWallClock()
+	linear.Stats = linear.Stats.StripWallClock()
+	linear.Stats.MaintainChecks = indexed.Stats.MaintainChecks
+	if indexed != linear {
+		t.Fatalf("cell index changed behavior:\nindexed = %+v\nlinear  = %+v", indexed, linear)
+	}
+}

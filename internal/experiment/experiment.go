@@ -50,6 +50,11 @@ const (
 	// table. Routing behavior is identical to SystemREFER; benchmark knob
 	// for quantifying the table's end-to-end saving.
 	SystemREFERDirectRoutes = "REFER/direct-routes"
+	// SystemREFERLinearScan reverts every cell lookup to the pre-index
+	// linear scans (core.Config.DisableCellIndex): the ablation arm of the
+	// scale study. Results are identical to SystemREFER; only the
+	// maintenance work counters and wall clock differ.
+	SystemREFERLinearScan = "REFER/linear-scan"
 
 	// SystemREFERK33 uses K(3,3) cells (d = 3: three disjoint paths per
 	// pair) via the generalized embedding — the paper's future work.
@@ -78,6 +83,10 @@ func NewSystem(name string, w *world.World) (System, error) {
 	case SystemREFERDirectRoutes:
 		cfg := core.DefaultConfig()
 		cfg.DisableRouteTable = true
+		return core.New(w, cfg), nil
+	case SystemREFERLinearScan:
+		cfg := core.DefaultConfig()
+		cfg.DisableCellIndex = true
 		return core.New(w, cfg), nil
 	case SystemREFERK33:
 		cfg := core.DefaultConfig()
@@ -232,6 +241,15 @@ type RunStats struct {
 	FaultRecoveries uint64  `json:"fault_recoveries"`
 	LostSends       uint64  `json:"lost_sends"`
 	EnergyDrained   float64 `json:"energy_drained_j"`
+	// MaintainChecks counts cell containment/distance predicate evaluations
+	// spent homing sensors (REFER runs; zero otherwise) — the membership
+	// maintenance cost the scale figure plots. Rehomes counts sensors whose
+	// cell actually changed. Both are deterministic per seed, but
+	// MaintainChecks intentionally differs between the indexed and
+	// linear-scan REFER variants — replay comparisons across those two
+	// variants should strip it alongside the wall-clock fields.
+	MaintainChecks int `json:"maintain_checks"`
+	Rehomes        int `json:"rehomes"`
 }
 
 // StripWallClock returns the stats with the host-timing fields zeroed —
@@ -398,6 +416,8 @@ func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
 		stats.RouteTableHits = st.RouteCacheHits
 		stats.RouteTableMisses = st.RouteCacheMisses
 		stats.FailoverSwitches = st.FailoverSwitches
+		stats.MaintainChecks = st.MaintainChecks
+		stats.Rehomes = st.Rehomes
 	case *kautzoverlay.System:
 		st := impl.Stats()
 		stats.RouteTableHits = st.RouteCacheHits

@@ -264,6 +264,7 @@ func TestRegistryContents(t *testing.T) {
 		"8": KindPaper, "9": KindPaper, "10": KindPaper, "11": KindPaper,
 		"A1": KindAblation, "A2": KindAblation, "A3": KindAblation,
 		"E1": KindExtension, "E2": KindExtension, "E3": KindExtension,
+		"S1": KindScale, "S2": KindScale, "S3": KindScale,
 	}
 	if len(specs) != len(wantKinds) {
 		t.Fatalf("registry has %d entries, want %d", len(specs), len(wantKinds))
@@ -292,7 +293,8 @@ func TestRegistryContents(t *testing.T) {
 	if _, ok := FigureByID("999"); ok {
 		t.Fatal("FigureByID invented a figure")
 	}
-	if KindPaper.String() != "paper" || KindAblation.String() != "ablation" || KindExtension.String() != "extension" {
+	if KindPaper.String() != "paper" || KindAblation.String() != "ablation" ||
+		KindExtension.String() != "extension" || KindScale.String() != "scale" {
 		t.Fatal("FigureKind.String")
 	}
 }

@@ -15,6 +15,11 @@ const (
 	KindAblation
 	// KindExtension marks the future-work extension studies (E1–E3).
 	KindExtension
+	// KindScale marks the network-growth study (S1–S3): multi-thousand-node
+	// deployments comparing indexed vs linear-scan cell lookups. Excluded
+	// from the default and -extras CLI selections — the 10,000-node points
+	// dwarf every other figure's cost — and run explicitly via -fig.
+	KindScale
 )
 
 // String returns the kind's lower-case name.
@@ -26,6 +31,8 @@ func (k FigureKind) String() string {
 		return "ablation"
 	case KindExtension:
 		return "extension"
+	case KindScale:
+		return "scale"
 	default:
 		return fmt.Sprintf("FigureKind(%d)", int(k))
 	}
@@ -98,6 +105,9 @@ var registry = []FigureSpec{
 	newSpec("E1", "Extension: QoS throughput in sparse deployments", KindExtension, extSparse),
 	newSpec("E2", "Extension: delivery ratio in sparse deployments", KindExtension, extSparseDeliveryRatio),
 	newSpec("E3", "Extension: K(2,3) vs K(3,3) cells under faults", KindExtension, extDegree),
+	newSpec("S1", "Scale: delivery ratio vs network growth", KindScale, growthDelivery),
+	newSpec("S2", "Scale: transmission delay vs network growth", KindScale, growthDelay),
+	newSpec("S3", "Scale: membership-maintenance cost vs network growth", KindScale, growthMaintainCost),
 }
 
 // newSpec wraps a builder so the spec's ID labels progress events and the

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"refer/internal/scenario"
+)
+
+// The network-growth study (Figures S1–S3) pushes REFER far past the
+// paper's 400-sensor evaluation ceiling: thousands of sensors over an
+// actuator lattice whose triangulation yields hundreds of cells, comparing
+// the indexed cell lookups against the pre-index linear scans
+// (SystemREFERLinearScan). The two arms produce identical delivery and
+// delay curves by construction — the index preserves every tie-break — so
+// S1/S2 double as a conformance check, while S3 plots the maintenance work
+// (cell predicate evaluations) the index removes.
+
+// growthXs are the growth-study network sizes (sensor population).
+var growthXs = []float64{1000, 2000, 5000, 10000}
+
+// gridFor returns the actuator lattice side n for a sensor population,
+// keeping the density near the paper's 200 sensors / 4 cells: n×n actuators
+// triangulate into 2(n-1)² cells, so sensors-per-cell stays around 50.
+func gridFor(sensors float64) int {
+	return int(math.Round(math.Sqrt(sensors/100))) + 1
+}
+
+// growthSweep runs the S1–S3 grid: REFER vs its linear-scan ablation over
+// growing deployments at 1 m/s. The full-length paper windows would make a
+// 10,000-node sweep take hours, so unset windows default to a short
+// measured slice (the growth curves compare configurations, not absolute
+// paper numbers).
+func growthSweep(ctx context.Context, o Options, pick func(Result) float64) (Figure, error) {
+	if len(o.Systems) == 0 {
+		o.Systems = []string{SystemREFER, SystemREFERLinearScan}
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 20 * time.Second
+	}
+	if o.Duration == 0 {
+		o.Duration = 60 * time.Second
+	}
+	o = o.withDefaults()
+	fig, err := sweep(ctx, o, growthXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{
+			Scenario: scenario.Params{
+				Seed:         seed,
+				Sensors:      int(x),
+				MaxSpeed:     1,
+				ActuatorGrid: gridFor(x),
+			},
+		}
+	}, pick)
+	fig.XLabel = "sensors"
+	return fig, err
+}
+
+// FigS1 builds the growth-study delivery-ratio figure.
+func FigS1(o Options) (Figure, error) { return buildByID(context.Background(), "S1", o) }
+
+// FigS2 builds the growth-study mean-delay figure.
+func FigS2(o Options) (Figure, error) { return buildByID(context.Background(), "S2", o) }
+
+// FigS3 builds the growth-study maintenance-cost figure.
+func FigS3(o Options) (Figure, error) { return buildByID(context.Background(), "S3", o) }
+
+func growthDelivery(ctx context.Context, o Options) (Figure, error) {
+	fig, err := growthSweep(ctx, o, func(r Result) float64 {
+		if r.Created == 0 {
+			return 0
+		}
+		return float64(r.Delivered) / float64(r.Created)
+	})
+	fig.YLabel = "delivery ratio"
+	return fig, err
+}
+
+func growthDelay(ctx context.Context, o Options) (Figure, error) {
+	fig, err := growthSweep(ctx, o, func(r Result) float64 { return r.MeanDelay.Seconds() * 1000 })
+	fig.YLabel = "delay (ms)"
+	return fig, err
+}
+
+func growthMaintainCost(ctx context.Context, o Options) (Figure, error) {
+	fig, err := growthSweep(ctx, o, func(r Result) float64 { return float64(r.Stats.MaintainChecks) })
+	fig.YLabel = "cell predicate evaluations"
+	return fig, err
+}

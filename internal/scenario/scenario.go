@@ -37,6 +37,16 @@ type Params struct {
 	SensorBattery float64
 	// HopJitter overrides the world's MAC jitter when > 0.
 	HopJitter time.Duration
+	// ActuatorGrid, when >= 2, replaces the paper's five-actuator layout
+	// with an n×n actuator lattice at GridSpacing intervals — the many-cell
+	// deployment of the scale study. Triangulating the lattice yields
+	// 2(n-1)² cells; the default spacing keeps every triangle edge (the
+	// 212 m diagonal included) within the 250 m actuator radio range. Zero
+	// keeps the paper layout.
+	ActuatorGrid int
+	// GridSpacing is the lattice pitch in meters (default 150; only used
+	// when ActuatorGrid >= 2).
+	GridSpacing float64
 }
 
 // Defaults fills zero fields with the paper's values.
@@ -44,8 +54,16 @@ func (p Params) Defaults() Params {
 	if p.Sensors == 0 {
 		p.Sensors = 200
 	}
+	if p.GridSpacing == 0 {
+		p.GridSpacing = 150
+	}
 	if p.Side == 0 {
-		p.Side = 500
+		if p.ActuatorGrid >= 2 {
+			// Lattice extent plus a 150 m border on each side.
+			p.Side = float64(p.ActuatorGrid-1)*p.GridSpacing + 300
+		} else {
+			p.Side = 500
+		}
 	}
 	if p.SensorRange == 0 {
 		p.SensorRange = 100
@@ -74,6 +92,22 @@ func ActuatorLayout(side float64) []geo.Point {
 	}
 }
 
+// GridLayout returns the n×n actuator lattice for the scale scenario,
+// centered in a field of the given side, in row-major order.
+func GridLayout(n int, spacing, side float64) []geo.Point {
+	inset := (side - float64(n-1)*spacing) / 2
+	out := make([]geo.Point, 0, n*n)
+	for row := 0; row < n; row++ {
+		for col := 0; col < n; col++ {
+			out = append(out, geo.Point{
+				X: inset + float64(col)*spacing,
+				Y: inset + float64(row)*spacing,
+			})
+		}
+	}
+	return out
+}
+
 // Build creates the world: actuators (static, mains-powered) then sensors
 // (random-waypoint movers anchored near random actuators).
 func Build(p Params) *world.World {
@@ -86,6 +120,9 @@ func Build(p Params) *world.World {
 	}
 	w := world.New(cfg)
 	layout := ActuatorLayout(p.Side)
+	if p.ActuatorGrid >= 2 {
+		layout = GridLayout(p.ActuatorGrid, p.GridSpacing, p.Side)
+	}
 	for _, pos := range layout {
 		w.AddNode(world.Actuator, mobility.Static{P: pos}, p.ActuatorRange, 0)
 	}
@@ -93,6 +130,14 @@ func Build(p Params) *world.World {
 	// margin — rather than the whole field, mirroring the paper's premise
 	// that the Kautz cells "seamlessly cover the sensed region".
 	patrol := SensedRegion(p.Side)
+	if p.ActuatorGrid >= 2 {
+		// Lattice bounding box plus the same 50 m margin.
+		lo, hi := layout[0], layout[len(layout)-1]
+		patrol = geo.Rect{
+			Min: geo.Point{X: lo.X - 50, Y: lo.Y - 50},
+			Max: geo.Point{X: hi.X + 50, Y: hi.Y + 50},
+		}
+	}
 	// Deployment RNG is separate from the world RNG so protocol randomness
 	// does not perturb node placement across configurations.
 	rng := rand.New(rand.NewSource(p.Seed + 1))

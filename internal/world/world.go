@@ -332,6 +332,11 @@ func (w *World) Node(id NodeID) *Node { return w.nodes[id] }
 // Len returns the number of nodes.
 func (w *World) Len() int { return len(w.nodes) }
 
+// MaxSpeed returns the maximum mobility speed bound over all nodes (+Inf
+// when any node's model has no known bound). Zero means every node is
+// static, which lets position-derived caches skip refreshing entirely.
+func (w *World) MaxSpeed() float64 { return w.maxSpeed }
+
 // Nodes returns the node list (shared slice; callers must not mutate).
 func (w *World) Nodes() []*Node { return w.nodes }
 

@@ -111,6 +111,11 @@ const (
 	SystemDaTree       = experiment.SystemDaTree
 	SystemDDEAR        = experiment.SystemDDEAR
 	SystemKautzOverlay = experiment.SystemKautzOverlay
+
+	// SystemREFERLinearScan is REFER with every cell lookup reverted to the
+	// pre-index linear scans — the scale study's ablation arm. Results are
+	// identical to SystemREFER; only the maintenance work differs.
+	SystemREFERLinearScan = experiment.SystemREFERLinearScan
 )
 
 // AllSystems lists the four evaluated systems.
@@ -196,12 +201,14 @@ const (
 	KindPaper     = experiment.KindPaper
 	KindAblation  = experiment.KindAblation
 	KindExtension = experiment.KindExtension
+	KindScale     = experiment.KindScale
 )
 
 // Figures returns every registered figure in presentation order.
 func Figures() []FigureSpec { return experiment.Figures() }
 
-// FigureByID looks up a registered figure ("4"…"11", "A1", "A2", "E1"…"E3").
+// FigureByID looks up a registered figure ("4"…"11", "A1"…"A3", "E1"…"E3",
+// "S1"…"S3").
 func FigureByID(id string) (FigureSpec, bool) { return experiment.FigureByID(id) }
 
 // Figure generators for the paper's evaluation.
@@ -214,6 +221,11 @@ var (
 	Fig9  = experiment.Fig9
 	Fig10 = experiment.Fig10
 	Fig11 = experiment.Fig11
+
+	// Network-growth study (indexed vs linear-scan REFER at scale).
+	FigS1 = experiment.FigS1
+	FigS2 = experiment.FigS2
+	FigS3 = experiment.FigS3
 )
 
 // AllFigures regenerates every evaluation figure.
