@@ -1,25 +1,31 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"refer"
 	"refer/internal/des"
 	"refer/internal/kautz"
+	"refer/internal/simd"
 )
 
 // The -bench mode is the repo's perf trajectory: a fixed micro+macro suite
 // whose results are appended to the tree as BENCH_<n>.json files, one per
 // measurement session, so optimization work leaves a comparable record
 // (schema documented in EXPERIMENTS.md). The suite is deliberately small —
-// five microbenchmarks over the simulation hot paths plus two quick sweeps
-// (Figure 4 and the network-growth study) — so CI can afford to run it on
-// every change.
+// five microbenchmarks over the simulation hot paths plus three macros (the
+// Figure 4 sweep, the network-growth study, and a refer-simd serving-load
+// storm) — so CI can afford to run it on every change.
 
 // benchSchema names the BENCH file layout; bump on incompatible change.
 const benchSchema = "refer-bench/1"
@@ -33,26 +39,31 @@ type benchMicro struct {
 	Iterations  int     `json:"iterations"`
 }
 
-// benchMacro is one end-to-end sweep result.
+// benchMacro is one end-to-end sweep result. Extra carries
+// macro-specific gauges (e.g. simd_load's cache hit rate).
 type benchMacro struct {
-	Name         string  `json:"name"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	Runs         int     `json:"runs"`
-	EventsPerSec float64 `json:"events_per_sec"`
+	Name         string             `json:"name"`
+	WallSeconds  float64            `json:"wall_seconds"`
+	Runs         int                `json:"runs"`
+	EventsPerSec float64            `json:"events_per_sec"`
+	Extra        map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchReport is the BENCH_<n>.json document.
 type benchReport struct {
-	Schema    string             `json:"schema"`
-	CreatedAt string             `json:"created_utc"`
-	GoVersion string             `json:"go_version"`
-	GOOS      string             `json:"goos"`
-	GOARCH    string             `json:"goarch"`
-	CPUs      int                `json:"cpus"`
-	Micro     []benchMicro       `json:"micro"`
-	Macro     []benchMacro       `json:"macro"`
-	Baseline  map[string]float64 `json:"baseline,omitempty"`
-	Notes     string             `json:"notes,omitempty"`
+	Schema    string `json:"schema"`
+	CreatedAt string `json:"created_utc"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Parallelism is the effective sweep concurrency the macros ran at
+	// (the -parallel flag, defaulted to GOMAXPROCS).
+	Parallelism int                `json:"parallelism"`
+	Micro       []benchMicro       `json:"micro"`
+	Macro       []benchMacro       `json:"macro"`
+	Baseline    map[string]float64 `json:"baseline,omitempty"`
+	Notes       string             `json:"notes,omitempty"`
 }
 
 func microResult(name string, r testing.BenchmarkResult) benchMicro {
@@ -190,12 +201,13 @@ func benchMaintain(linear bool) (benchMicro, error) {
 
 // benchFig4Quick runs the Figure 4 mobility sweep at quick scale (one seed,
 // short windows) and reports its wall time — the suite's end-to-end number.
-func benchFig4Quick() (benchMacro, error) {
+func benchFig4Quick(parallelism int) (benchMacro, error) {
 	fig, err := refer.Fig4(refer.Options{
-		Seeds:    []int64{1},
-		Warmup:   100 * time.Second,
-		Duration: 150 * time.Second,
-		Sensors:  150,
+		Seeds:       []int64{1},
+		Warmup:      100 * time.Second,
+		Duration:    150 * time.Second,
+		Sensors:     150,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		return benchMacro{}, err
@@ -211,11 +223,12 @@ func benchFig4Quick() (benchMacro, error) {
 // benchScaleQuick runs the network-growth delivery sweep (Figure S1: REFER
 // vs its linear-scan ablation at 1,000–10,000 sensors) at quick scale. The
 // 10,000-node points are the suite's largest end-to-end runs.
-func benchScaleQuick() (benchMacro, error) {
+func benchScaleQuick(parallelism int) (benchMacro, error) {
 	fig, err := refer.FigS1(refer.Options{
-		Seeds:    []int64{1},
-		Warmup:   5 * time.Second,
-		Duration: 20 * time.Second,
+		Seeds:       []int64{1},
+		Warmup:      5 * time.Second,
+		Duration:    20 * time.Second,
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		return benchMacro{}, err
@@ -225,6 +238,100 @@ func benchScaleQuick() (benchMacro, error) {
 		WallSeconds:  fig.Stats.WallClock.Seconds(),
 		Runs:         fig.Stats.Runs,
 		EventsPerSec: fig.Stats.EventsPerSec,
+	}, nil
+}
+
+// benchSimdLoad boots an in-process refer-simd server and storms it over
+// real HTTP: simdSubmissions short-run submissions across simdDistinct
+// distinct configs from simdClients concurrent clients. Exactly one
+// simulation executes per distinct config; every other submission is served
+// by the in-flight dedup or the result cache, so the macro measures the
+// serving layer (queueing, canonicalization, caching), not the simulator.
+// Extra gauges record the cache behavior alongside the throughput numbers.
+func benchSimdLoad(parallelism int) (benchMacro, error) {
+	const (
+		simdDistinct    = 16
+		simdSubmissions = 1200
+		simdClients     = 48
+	)
+	srv := simd.New(simd.Config{Workers: parallelism, QueueDepth: 256})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	transport := &http.Transport{MaxIdleConnsPerHost: simdClients}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	// The same cheap-but-buildable config shape the simd tests use: sparse
+	// deployments can fail REFER core embedding, 140 sensors builds for
+	// every seed in 1..16.
+	body := func(seed int) []byte {
+		return []byte(fmt.Sprintf(
+			`{"seed":%d,"sensors":140,"warmup_s":1,"duration_s":3,"sources":2,"packets_per_source":2}`,
+			seed))
+	}
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errOnce  sync.Once
+	)
+	sem := make(chan struct{}, simdClients)
+	for i := 0; i < simdSubmissions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, err := client.Post(ts.URL+"/runs", "application/json",
+				bytes.NewReader(body(1+i%simdDistinct)))
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				errOnce.Do(func() {
+					firstErr = fmt.Errorf("simd_load: submission %d: HTTP %d", i, resp.StatusCode)
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return benchMacro{}, firstErr
+	}
+	// Drain: dedup guarantees exactly one execution per distinct config.
+	for {
+		m := srv.MetricsSnapshot()
+		if m.Failed > 0 {
+			return benchMacro{}, fmt.Errorf("simd_load: %d runs failed", m.Failed)
+		}
+		if m.Completed == simdDistinct {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wall := time.Since(start).Seconds()
+	m := srv.MetricsSnapshot()
+	eps := 0.0
+	if wall > 0 {
+		eps = float64(m.DESEvents) / wall
+	}
+	return benchMacro{
+		Name:         "simd_load",
+		WallSeconds:  wall,
+		Runs:         int(m.Completed),
+		EventsPerSec: eps,
+		Extra: map[string]float64{
+			"submissions":    simdSubmissions,
+			"cache_hit_rate": m.CacheHitRate,
+			"cache_hits":     float64(m.CacheHits),
+			"deduped":        float64(m.Deduped),
+			"rejected":       float64(m.Rejected),
+		},
 	}, nil
 }
 
@@ -239,15 +346,21 @@ func nextBenchPath(dir string) string {
 }
 
 // runBenchSuite executes the fixed suite and writes the next BENCH_<n>.json
-// in the current directory, returning the path written.
-func runBenchSuite(quiet bool) (string, error) {
+// in the current directory, returning the path written. parallelism bounds
+// the macro sweeps' concurrency (<=0 selects GOMAXPROCS) and is recorded in
+// the report so trajectory comparisons are like-for-like.
+func runBenchSuite(quiet bool, parallelism int) (string, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	report := benchReport{
-		Schema:    benchSchema,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Schema:      benchSchema,
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Parallelism: parallelism,
 	}
 	progress := func(format string, args ...any) {
 		if !quiet {
@@ -277,17 +390,23 @@ func runBenchSuite(quiet bool) (string, error) {
 	}
 	report.Micro = append(report.Micro, ml)
 	progress("bench: fig4_quick...\n")
-	fig4, err := benchFig4Quick()
+	fig4, err := benchFig4Quick(parallelism)
 	if err != nil {
 		return "", err
 	}
 	report.Macro = append(report.Macro, fig4)
 	progress("bench: scale_quick...\n")
-	sq, err := benchScaleQuick()
+	sq, err := benchScaleQuick(parallelism)
 	if err != nil {
 		return "", err
 	}
 	report.Macro = append(report.Macro, sq)
+	progress("bench: simd_load...\n")
+	sl, err := benchSimdLoad(parallelism)
+	if err != nil {
+		return "", err
+	}
+	report.Macro = append(report.Macro, sl)
 
 	path := nextBenchPath(".")
 	data, err := json.MarshalIndent(report, "", "  ")

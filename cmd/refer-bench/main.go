@@ -9,6 +9,7 @@
 //	refer-bench -json           # machine-readable output on stdout
 //	refer-bench -trace 100      # packet tracing, sampling every 100th packet
 //	refer-bench -chaos f.json   # attach a fault-injection schedule to every run
+//	refer-bench -parallel 4     # bound sweep concurrency (figure output is identical)
 //	refer-bench -bench          # fixed perf suite → BENCH_<n>.json (see EXPERIMENTS.md)
 //
 // A live progress line is written to stderr while sweeps run (suppress with
@@ -57,6 +58,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the figures as JSON on stdout instead of text tables")
 		traceN     = flag.Int("trace", 0, "attach packet tracing to every run, keeping every Nth packet's event stream (0 = off)")
 		chaosPath  = flag.String("chaos", "", "attach the fault-injection schedule in this JSON file to every run (see EXPERIMENTS.md)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulation runs per sweep (0 = GOMAXPROCS); figure output is identical at any setting")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 		warmup     = flag.Duration("warmup", 0, "override the warmup window (e.g. 5s; mainly for quick -fig S* passes)")
 		duration   = flag.Duration("duration", 0, "override the measurement window (e.g. 20s)")
@@ -82,7 +84,7 @@ func main() {
 	}
 
 	if *bench {
-		path, err := runBenchSuite(*quiet)
+		path, err := runBenchSuite(*quiet, *parallel)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,6 +97,7 @@ func main() {
 		Warmup:      100 * time.Second,
 		Duration:    300 * time.Second,
 		TraceSample: *traceN,
+		Parallelism: *parallel,
 	}
 	if *full {
 		opts.Seeds = []int64{1, 2, 3, 4, 5}
@@ -121,8 +124,14 @@ func main() {
 	}
 	if !*quiet {
 		opts.Progress = func(ev refer.ProgressEvent) {
-			fmt.Fprintf(os.Stderr, "\rfig %-3s %3d/%-3d runs  %8s ",
-				ev.FigureID, ev.Done, ev.Total, ev.Elapsed.Round(100*time.Millisecond))
+			state := ""
+			if ev.Aborted {
+				// The sweep stopped scheduling; Total is clamped to the runs
+				// actually started, so Done/Total still converges.
+				state = " aborting"
+			}
+			fmt.Fprintf(os.Stderr, "\rfig %-3s %3d/%-3d runs  %8s%s ",
+				ev.FigureID, ev.Done, ev.Total, ev.Elapsed.Round(100*time.Millisecond), state)
 		}
 	}
 

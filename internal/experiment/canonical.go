@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"refer/internal/chaos"
+	"refer/internal/scenario"
+)
+
+// Config canonicalization: two RunConfigs that describe the same simulation
+// — whether a field was spelled out or left to default — hash to the same
+// key, and the replay-determinism guarantee (same canonical config + seed →
+// byte-identical Result modulo host timing) makes that key safe to use as a
+// content address for cached results. refer-simd's result cache is keyed on
+// exactly this.
+
+// canonicalRun is the serialized form ConfigKey hashes: every field of
+// RunConfig that influences the simulation outcome, fully defaulted. Field
+// order is fixed by the struct definition, so the JSON encoding is
+// deterministic. The Trace recorder pointer is reduced to its presence —
+// attaching a recorder changes Stats.Trace counts in the Result, so traced
+// and untraced runs must not share a cache entry.
+type canonicalRun struct {
+	System           string          `json:"system"`
+	Scenario         scenario.Params `json:"scenario"`
+	Warmup           time.Duration   `json:"warmup_ns"`
+	Duration         time.Duration   `json:"duration_ns"`
+	BurstInterval    time.Duration   `json:"burst_interval_ns"`
+	Sources          int             `json:"sources"`
+	PacketsPerSource int             `json:"packets_per_source"`
+	PacketSpacing    time.Duration   `json:"packet_spacing_ns"`
+	FaultCount       int             `json:"fault_count"`
+	FaultRotation    time.Duration   `json:"fault_rotation_ns"`
+	QoSDeadline      time.Duration   `json:"qos_deadline_ns"`
+	Traced           bool            `json:"traced"`
+	Chaos            *chaos.Schedule `json:"chaos,omitempty"`
+}
+
+// ConfigKey returns the content address of a run: the hex SHA-256 of the
+// canonicalized (fully defaulted) config, seed included. Identical
+// submissions — byte-for-byte or merely semantically, with defaults spelled
+// out versus omitted — map to the same key.
+func ConfigKey(cfg RunConfig) (string, error) {
+	cfg = cfg.withDefaults()
+	if !KnownSystem(cfg.System) {
+		return "", fmt.Errorf("experiment: unknown system %q", cfg.System)
+	}
+	c := canonicalRun{
+		System:           cfg.System,
+		Scenario:         cfg.Scenario.Defaults(),
+		Warmup:           cfg.Warmup,
+		Duration:         cfg.Duration,
+		BurstInterval:    cfg.BurstInterval,
+		Sources:          cfg.Sources,
+		PacketsPerSource: cfg.PacketsPerSource,
+		PacketSpacing:    cfg.PacketSpacing,
+		FaultCount:       cfg.FaultCount,
+		FaultRotation:    cfg.FaultRotation,
+		QoSDeadline:      cfg.QoSDeadline,
+		Traced:           cfg.Trace != nil,
+		Chaos:            cfg.Chaos,
+	}
+	return hashJSON(c)
+}
+
+// canonicalFigure is the serialized form OptionsKey hashes. Parallelism and
+// Progress are deliberately excluded: figure output is byte-identical at any
+// worker count (pinned by TestParallelismInvariance), and a progress
+// callback observes a build without changing it.
+type canonicalFigure struct {
+	Figure           string          `json:"figure"`
+	Seeds            []int64         `json:"seeds"`
+	Warmup           time.Duration   `json:"warmup_ns"`
+	Duration         time.Duration   `json:"duration_ns"`
+	Sensors          int             `json:"sensors"`
+	Systems          []string        `json:"systems"`
+	PacketsPerSource int             `json:"packets_per_source"`
+	TraceSample      int             `json:"trace_sample"`
+	Chaos            *chaos.Schedule `json:"chaos,omitempty"`
+}
+
+// OptionsKey returns the content address of a figure build: the hex SHA-256
+// of the registry ID plus the canonicalized sweep options.
+func OptionsKey(figureID string, o Options) (string, error) {
+	if _, ok := FigureByID(figureID); !ok {
+		return "", fmt.Errorf("experiment: unknown figure %q", figureID)
+	}
+	o = o.withDefaults()
+	c := canonicalFigure{
+		Figure:           figureID,
+		Seeds:            o.Seeds,
+		Warmup:           o.Warmup,
+		Duration:         o.Duration,
+		Sensors:          o.Sensors,
+		Systems:          o.Systems,
+		PacketsPerSource: o.PacketsPerSource,
+		TraceSample:      o.TraceSample,
+		Chaos:            o.Chaos,
+	}
+	return hashJSON(c)
+}
+
+func hashJSON(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("experiment: canonicalizing config: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,205 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"refer/internal/chaos"
+	"refer/internal/scenario"
+	"refer/internal/trace"
+)
+
+// TestConfigKeyCanonicalization pins the content-address contract: spelling
+// out the defaults hashes identically to omitting them, and every
+// outcome-relevant field perturbs the key.
+func TestConfigKeyCanonicalization(t *testing.T) {
+	base := RunConfig{Scenario: scenario.Params{Seed: 7}}
+	explicit := RunConfig{
+		System: SystemREFER,
+		Scenario: scenario.Params{
+			Seed: 7, Sensors: 200, Side: 500, SensorRange: 100,
+			ActuatorRange: 250, AnchorRadius: 140,
+		},
+		Warmup:           100 * time.Second,
+		Duration:         1000 * time.Second,
+		BurstInterval:    10 * time.Second,
+		Sources:          5,
+		PacketsPerSource: 6,
+		PacketSpacing:    20 * time.Millisecond,
+		FaultRotation:    10 * time.Second,
+		QoSDeadline:      600 * time.Millisecond,
+	}
+	k1, err := ConfigKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ConfigKey(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatalf("defaulted and explicit configs hash differently:\n%s\n%s", k1, k2)
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not hex SHA-256", k1)
+	}
+
+	perturb := map[string]RunConfig{
+		"seed":    {Scenario: scenario.Params{Seed: 8}},
+		"system":  {System: SystemDaTree, Scenario: scenario.Params{Seed: 7}},
+		"sensors": {Scenario: scenario.Params{Seed: 7, Sensors: 100}},
+		"faults":  {Scenario: scenario.Params{Seed: 7}, FaultCount: 4},
+		"window":  {Scenario: scenario.Params{Seed: 7}, Duration: 500 * time.Second},
+		"trace":   {Scenario: scenario.Params{Seed: 7}, Trace: trace.NewRecorder(1)},
+		"chaos": {Scenario: scenario.Params{Seed: 7}, Chaos: &chaos.Schedule{
+			Seed:   1,
+			Events: []chaos.Event{{Kind: chaos.Crash, At: chaos.Duration(time.Second)}},
+		}},
+	}
+	for name, cfg := range perturb {
+		k, err := ConfigKey(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == k1 {
+			t.Errorf("perturbing %s did not change the key", name)
+		}
+	}
+}
+
+func TestConfigKeyRejectsUnknownSystem(t *testing.T) {
+	if _, err := ConfigKey(RunConfig{System: "not-a-system"}); err == nil {
+		t.Fatal("no error for unknown system")
+	}
+}
+
+func TestOptionsKey(t *testing.T) {
+	k1, err := OptionsKey("4", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults spelled out → same key; Parallelism and Progress excluded.
+	k2, err := OptionsKey("4", Options{
+		Seeds:       []int64{1, 2, 3, 4, 5},
+		Sensors:     200,
+		Systems:     AllSystems(),
+		Parallelism: 7,
+		Progress:    func(ProgressEvent) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("defaulted and explicit options hash differently")
+	}
+	k3, err := OptionsKey("5", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Fatal("figure ID not part of the key")
+	}
+	k4, err := OptionsKey("4", Options{Seeds: []int64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 == k1 {
+		t.Fatal("seed set not part of the key")
+	}
+	if _, err := OptionsKey("nope", Options{}); err == nil {
+		t.Fatal("no error for unknown figure")
+	}
+}
+
+// TestKnownSystems pins the system registry helpers against NewSystem.
+func TestKnownSystems(t *testing.T) {
+	names := KnownSystems()
+	if len(names) == 0 {
+		t.Fatal("no known systems")
+	}
+	for _, name := range names {
+		if !KnownSystem(name) {
+			t.Errorf("KnownSystem(%q) = false", name)
+		}
+		w := scenario.Build(scenario.Params{Seed: 1, Sensors: 10})
+		if _, err := NewSystem(name, w); err != nil {
+			t.Errorf("NewSystem(%q): %v", name, err)
+		}
+	}
+	if KnownSystem("not-a-system") {
+		t.Error(`KnownSystem("not-a-system") = true`)
+	}
+	for _, name := range AllSystems() {
+		if !KnownSystem(name) {
+			t.Errorf("evaluated system %q missing from registry", name)
+		}
+	}
+}
+
+// TestStartRunHandle exercises the run-handle plumbing: progress snapshots
+// advance, the result matches a plain RunContext of the same config, and
+// cancellation aborts promptly with the context error.
+func TestStartRunHandle(t *testing.T) {
+	cfg := RunConfig{
+		Scenario: scenario.Params{Seed: 1, Sensors: 120},
+		Warmup:   5 * time.Second,
+		Duration: 10 * time.Second,
+	}
+	var snaps []RunProgress
+	h := StartRun(context.Background(), cfg, func(p RunProgress) { snaps = append(snaps, p) })
+	res, err := h.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	last := snaps[len(snaps)-1]
+	if last.SimTime <= 0 || last.DESEvents == 0 || last.SimEnd != 17*time.Second {
+		t.Fatalf("final snapshot: %+v", last)
+	}
+	if f := last.Fraction(); f <= 0 || f > 1 {
+		t.Fatalf("fraction = %v", f)
+	}
+	if got := h.Progress(); got != last {
+		t.Fatalf("Progress() = %+v, want last snapshot %+v", got, last)
+	}
+	// Replay determinism: the handle's result matches a direct run.
+	direct, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Stats = res.Stats.StripWallClock()
+	direct.Stats = direct.Stats.StripWallClock()
+	if res != direct {
+		t.Fatalf("handle result diverged from direct run:\n%+v\n%+v", res, direct)
+	}
+}
+
+func TestStartRunCancel(t *testing.T) {
+	cfg := RunConfig{
+		Scenario: scenario.Params{Seed: 1, Sensors: 200},
+		Warmup:   500 * time.Second,
+		Duration: 5000 * time.Second,
+	}
+	started := make(chan struct{})
+	var once bool
+	h := StartRun(context.Background(), cfg, func(RunProgress) {
+		if !once {
+			once = true
+			close(started)
+		}
+	})
+	<-started
+	h.Cancel()
+	select {
+	case <-h.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not finish")
+	}
+	if _, err := h.Result(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -8,6 +8,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"time"
 
@@ -67,40 +68,65 @@ func AllSystems() []string {
 	return []string{SystemREFER, SystemDaTree, SystemDDEAR, SystemKautzOverlay}
 }
 
-// NewSystem constructs the named (unbuilt) system on w.
-func NewSystem(name string, w *world.World) (System, error) {
-	switch name {
-	case SystemREFER:
-		return core.New(w, core.DefaultConfig()), nil
-	case SystemREFERNoFailover:
+// systemBuilders maps every accepted system name to its constructor; the
+// single source of truth behind NewSystem and KnownSystem.
+var systemBuilders = map[string]func(w *world.World) System{
+	SystemREFER: func(w *world.World) System { return core.New(w, core.DefaultConfig()) },
+	SystemREFERNoFailover: func(w *world.World) System {
 		cfg := core.DefaultConfig()
 		cfg.DisableFailover = true
-		return core.New(w, cfg), nil
-	case SystemREFERNoMaintenance:
+		return core.New(w, cfg)
+	},
+	SystemREFERNoMaintenance: func(w *world.World) System {
 		cfg := core.DefaultConfig()
 		cfg.DisableMaintenance = true
-		return core.New(w, cfg), nil
-	case SystemREFERDirectRoutes:
+		return core.New(w, cfg)
+	},
+	SystemREFERDirectRoutes: func(w *world.World) System {
 		cfg := core.DefaultConfig()
 		cfg.DisableRouteTable = true
-		return core.New(w, cfg), nil
-	case SystemREFERLinearScan:
+		return core.New(w, cfg)
+	},
+	SystemREFERLinearScan: func(w *world.World) System {
 		cfg := core.DefaultConfig()
 		cfg.DisableCellIndex = true
-		return core.New(w, cfg), nil
-	case SystemREFERK33:
+		return core.New(w, cfg)
+	},
+	SystemREFERK33: func(w *world.World) System {
 		cfg := core.DefaultConfig()
 		cfg.Degree = 3
-		return core.New(w, cfg), nil
-	case SystemDaTree:
-		return datree.New(w, datree.DefaultConfig()), nil
-	case SystemDDEAR:
-		return ddear.New(w, ddear.DefaultConfig()), nil
-	case SystemKautzOverlay:
-		return kautzoverlay.New(w, kautzoverlay.DefaultConfig()), nil
-	default:
+		return core.New(w, cfg)
+	},
+	SystemDaTree:       func(w *world.World) System { return datree.New(w, datree.DefaultConfig()) },
+	SystemDDEAR:        func(w *world.World) System { return ddear.New(w, ddear.DefaultConfig()) },
+	SystemKautzOverlay: func(w *world.World) System { return kautzoverlay.New(w, kautzoverlay.DefaultConfig()) },
+}
+
+// NewSystem constructs the named (unbuilt) system on w.
+func NewSystem(name string, w *world.World) (System, error) {
+	build, ok := systemBuilders[name]
+	if !ok {
 		return nil, fmt.Errorf("experiment: unknown system %q", name)
 	}
+	return build(w), nil
+}
+
+// KnownSystem reports whether name is accepted by NewSystem — every
+// evaluated system, ablated variant and extension. Serving layers use it to
+// validate submissions before committing a queue slot.
+func KnownSystem(name string) bool {
+	_, ok := systemBuilders[name]
+	return ok
+}
+
+// KnownSystems lists every name accepted by NewSystem in sorted order.
+func KnownSystems() []string {
+	names := make([]string, 0, len(systemBuilders))
+	for name := range systemBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // RunConfig describes one simulation run.
@@ -275,6 +301,38 @@ const desBatch = 8192
 // in batches and checks ctx between batches, so a cancelled or expired
 // context aborts the run promptly with ctx.Err().
 func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
+	return runObserved(ctx, cfg, nil)
+}
+
+// RunProgress snapshots an in-flight run's virtual-clock advance; observers
+// receive one after every executed DES batch (see StartRun).
+type RunProgress struct {
+	// SimTime is the run's virtual clock; SimEnd is the clock value at
+	// which the run completes (warmup + duration + drain grace).
+	SimTime time.Duration `json:"sim_time_ns"`
+	SimEnd  time.Duration `json:"sim_end_ns"`
+	// DESEvents is the number of events executed so far.
+	DESEvents uint64 `json:"des_events"`
+}
+
+// Fraction returns the run's virtual-clock completion in [0, 1].
+func (p RunProgress) Fraction() float64 {
+	if p.SimEnd <= 0 {
+		return 0
+	}
+	f := float64(p.SimTime) / float64(p.SimEnd)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// runObserved is RunContext with an optional per-batch progress observer,
+// invoked serially from the run's goroutine after every DES batch.
+func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
@@ -381,11 +439,16 @@ func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
 
 	// Grace period lets in-flight packets from the window's tail arrive.
 	// Batched so cancellation is honored mid-simulation.
+	simEnd := end + 2*time.Second
 	for {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		if !w.Sched.RunUntilLimit(end+2*time.Second, desBatch) {
+		more := w.Sched.RunUntilLimit(simEnd, desBatch)
+		if observe != nil {
+			observe(RunProgress{SimTime: w.Now(), SimEnd: simEnd, DESEvents: w.Sched.Fired()})
+		}
+		if !more {
 			break
 		}
 	}

@@ -35,7 +35,9 @@ type Options struct {
 	Parallelism int
 	// Progress, when non-nil, receives one event after every completed
 	// simulation run of a sweep. Calls are serialized (never concurrent)
-	// but may come from any worker goroutine.
+	// and delivered in completion order on a dedicated goroutine, so a
+	// slow — even blocking — callback never stalls the sweep workers. The
+	// sweep drains all pending events before returning.
 	Progress func(ProgressEvent)
 	// TraceSample, when > 0, attaches a packet-trace recorder to every run
 	// of the sweep, storing every TraceSample-th packet's event stream.
@@ -51,6 +53,12 @@ type Options struct {
 	// figureID labels progress events with the owning registry entry; set
 	// by the registry wrapper, empty for direct sweep use.
 	figureID string
+	// defaulted marks Options that already passed withDefaults, making a
+	// second application a no-op — defaults are derived exactly once, so a
+	// future non-idempotent default (e.g. per-sweep derived seeds) cannot
+	// silently diverge between the figure builders (which need the
+	// defaults early) and sweep (which guards direct callers).
+	defaulted bool
 }
 
 // ProgressEvent reports one finished simulation run of a sweep.
@@ -68,6 +76,14 @@ type ProgressEvent struct {
 	Err error
 	// Elapsed is the wall time since the sweep started.
 	Elapsed time.Duration
+	// Aborted marks events emitted after the sweep stopped scheduling new
+	// runs (a run failed or the context was cancelled). On aborted events
+	// Total is clamped to the number of runs actually started, so the
+	// final event of an aborted sweep reports Done == Total — a consumer
+	// polling progress can tell "aborted" (Aborted set, counts equal)
+	// from "still in flight" (counts short, Aborted clear) instead of
+	// seeing Done < Total forever.
+	Aborted bool
 }
 
 // SweepStats aggregates the per-run observability blocks of a figure's
@@ -116,6 +132,9 @@ func (s *SweepStats) finish(start time.Time) {
 }
 
 func (o Options) withDefaults() Options {
+	if o.defaulted {
+		return o
+	}
 	if len(o.Seeds) == 0 {
 		o.Seeds = []int64{1, 2, 3, 4, 5}
 	}
@@ -125,6 +144,7 @@ func (o Options) withDefaults() Options {
 	if o.Sensors == 0 {
 		o.Sensors = 200
 	}
+	o.defaulted = true
 	return o
 }
 
@@ -149,6 +169,78 @@ type Figure struct {
 	Series []Series   `json:"series"`
 	Stats  SweepStats `json:"stats"`
 }
+
+// progressPump serializes Options.Progress callbacks on a dedicated
+// goroutine. Workers enqueue events (under the sweep mutex, preserving
+// completion order) and never block on the callback, so a slow or blocking
+// callback cannot stall the other workers' stats accumulation — and a
+// callback that itself waits on sweep output can no longer deadlock the
+// sweep. close drains the queue before returning, so every event is
+// delivered before sweep returns.
+type progressPump struct {
+	fn     func(ProgressEvent)
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []ProgressEvent
+	closed bool
+	done   chan struct{}
+}
+
+func newProgressPump(fn func(ProgressEvent)) *progressPump {
+	p := &progressPump{fn: fn, done: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	if fn == nil {
+		close(p.done)
+		return p
+	}
+	go p.loop()
+	return p
+}
+
+// emit enqueues one event; it never blocks on the callback.
+func (p *progressPump) emit(ev ProgressEvent) {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.queue = append(p.queue, ev)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+func (p *progressPump) loop() {
+	defer close(p.done)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		ev := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		p.fn(ev) // no locks held: the callback may block or query freely
+	}
+}
+
+// close waits until every enqueued event has been delivered.
+func (p *progressPump) close() {
+	if p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Signal()
+	<-p.done
+}
+
+// sweepRun executes one simulation of a sweep; indirected so tests can
+// substitute instant or failing runs.
+var sweepRun = RunContext
 
 // sweep runs the cross product systems × xs × seeds and reduces each
 // (system, x) cell to a summary of the metric selected by pick. Runs
@@ -195,29 +287,34 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 	}
 	start := time.Now()
 	var (
-		mu      sync.Mutex
-		samples = make(map[cell][]float64)
-		errs    []error
-		failed  bool
-		done    int
-		stats   SweepStats
-		wg      sync.WaitGroup
-		sem     = make(chan struct{}, parallelism)
+		mu        sync.Mutex
+		samples   = make(map[cell][]float64)
+		errs      []error
+		failed    bool
+		done      int
+		scheduled int
+		stats     SweepStats
+		wg        sync.WaitGroup
+		sem       = make(chan struct{}, parallelism)
 	)
+	pump := newProgressPump(o.Progress)
 	total := len(jobs)
 	for _, j := range jobs {
 		j := j
 		if ctx.Err() != nil {
 			break
 		}
-		mu.Lock()
-		halt := failed
-		mu.Unlock()
-		if halt {
-			break
-		}
 		wg.Add(1)
 		sem <- struct{}{}
+		mu.Lock()
+		if failed || ctx.Err() != nil {
+			mu.Unlock()
+			wg.Done()
+			<-sem
+			break
+		}
+		scheduled++
+		mu.Unlock()
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -225,9 +322,8 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 			if o.TraceSample > 0 {
 				cfg.Trace = trace.NewRecorder(o.TraceSample)
 			}
-			res, err := RunContext(ctx, cfg)
+			res, err := sweepRun(ctx, cfg)
 			mu.Lock()
-			defer mu.Unlock()
 			done++
 			if err != nil {
 				failed = true
@@ -237,21 +333,39 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 				samples[j.cell] = append(samples[j.cell], pick(res))
 				stats.accumulate(res.Stats)
 			}
-			if o.Progress != nil {
-				o.Progress(ProgressEvent{
-					FigureID: o.figureID,
-					Done:     done,
-					Total:    total,
-					System:   j.cfg.System,
-					Seed:     j.cfg.Scenario.Seed,
-					X:        j.x,
-					Err:      err,
-					Elapsed:  time.Since(start),
-				})
+			aborted := failed || ctx.Err() != nil
+			tot := total
+			if aborted {
+				tot = scheduled // no further runs will start
 			}
+			pump.emit(ProgressEvent{
+				FigureID: o.figureID,
+				Done:     done,
+				Total:    tot,
+				System:   j.cfg.System,
+				Seed:     j.cfg.Scenario.Seed,
+				X:        j.x,
+				Err:      err,
+				Elapsed:  time.Since(start),
+				Aborted:  aborted,
+			})
+			mu.Unlock()
 		}()
 	}
 	wg.Wait()
+	// A sweep aborted before any run started would otherwise emit nothing;
+	// send one terminal event so consumers still see Aborted, Done == Total.
+	mu.Lock()
+	if (failed || ctx.Err() != nil) && done == 0 {
+		pump.emit(ProgressEvent{
+			FigureID: o.figureID,
+			Aborted:  true,
+			Err:      ctx.Err(),
+			Elapsed:  time.Since(start),
+		})
+	}
+	mu.Unlock()
+	pump.close()
 	if err := ctx.Err(); err != nil {
 		errs = append(errs, err)
 	}

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"context"
+	"sync"
+)
+
+// RunHandle is an in-flight simulation started with StartRun: a cancellable
+// run whose progress can be observed while it executes and whose Result is
+// collected when it completes. It is the serving layer's unit of work —
+// refer-simd holds one handle per running submission.
+type RunHandle struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	progress RunProgress
+	result   Result
+	err      error
+}
+
+// StartRun launches cfg on its own goroutine and returns immediately with a
+// handle. onProgress, when non-nil, is invoked serially from the run's
+// goroutine after every executed DES batch (thousands of times per second
+// of wall clock for a busy run — throttle in the callback if relaying).
+// Cancel aborts the run promptly; Result then returns ctx.Err().
+func StartRun(ctx context.Context, cfg RunConfig, onProgress func(RunProgress)) *RunHandle {
+	ctx, cancel := context.WithCancel(ctx)
+	h := &RunHandle{cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer cancel()
+		res, err := runObserved(ctx, cfg, func(p RunProgress) {
+			h.mu.Lock()
+			h.progress = p
+			h.mu.Unlock()
+			if onProgress != nil {
+				onProgress(p)
+			}
+		})
+		h.mu.Lock()
+		h.result, h.err = res, err
+		h.mu.Unlock()
+		close(h.done)
+	}()
+	return h
+}
+
+// Cancel aborts the run; the in-flight simulation stops within one DES
+// batch. Safe to call repeatedly and after completion.
+func (h *RunHandle) Cancel() { h.cancel() }
+
+// Done returns a channel closed when the run has finished (successfully,
+// with an error, or cancelled).
+func (h *RunHandle) Done() <-chan struct{} { return h.done }
+
+// Progress returns the latest observed progress snapshot.
+func (h *RunHandle) Progress() RunProgress {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.progress
+}
+
+// Result blocks until the run finishes and returns its measurements; a
+// cancelled run returns the context's error.
+func (h *RunHandle) Result() (Result, error) {
+	<-h.done
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.result, h.err
+}

@@ -230,18 +230,19 @@ func TestSweepErrorIncludesRunConfig(t *testing.T) {
 	}
 }
 
-// TestSweepCancelledReturnsCtxErr cancels a sweep up front: no runs execute
-// and the context error is reported.
+// TestSweepCancelledReturnsCtxErr cancels a sweep up front: no runs
+// execute, the context error is reported, and the only progress event is
+// the terminal abort marker (Aborted, Done == Total == 0).
 func TestSweepCancelledReturnsCtxErr(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	ran := 0
+	var events []ProgressEvent
 	o := Options{
 		Seeds:    []int64{1},
 		Warmup:   10 * time.Second,
 		Duration: 10 * time.Second,
 		Systems:  []string{SystemREFER},
-		Progress: func(ProgressEvent) { ran++ },
+		Progress: func(ev ProgressEvent) { events = append(events, ev) },
 	}
 	spec, ok := FigureByID("4")
 	if !ok {
@@ -250,8 +251,13 @@ func TestSweepCancelledReturnsCtxErr(t *testing.T) {
 	if _, err := spec.Build(ctx, o); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	if ran != 0 {
-		t.Fatalf("%d runs executed after cancellation", ran)
+	for _, ev := range events {
+		if ev.System != "" || ev.Done != 0 {
+			t.Fatalf("run executed after cancellation: %+v", ev)
+		}
+	}
+	if len(events) != 1 || !events[0].Aborted {
+		t.Fatalf("events = %+v, want exactly the terminal abort marker", events)
 	}
 }
 

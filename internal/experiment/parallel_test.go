@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestParallelismInvariance pins the determinism contract the refer-simd
+// server and the -parallel flag rely on: every registered figure produces
+// byte-identical CSV output whether its sweep runs one simulation at a time
+// or four concurrently. Each run is seeded independently and accumulation
+// is keyed by (system, x, seed), so completion order must not leak into the
+// output. The network-growth studies (KindScale) are excluded only for
+// cost — their 10,000-sensor points dwarf the rest of the suite — not
+// because they are exempt from the contract.
+func TestParallelismInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are not -short tests")
+	}
+	base := Options{
+		Seeds:            []int64{1},
+		Warmup:           2 * time.Second,
+		Duration:         5 * time.Second,
+		Sensors:          140,
+		PacketsPerSource: 2,
+	}
+	for _, spec := range Figures() {
+		if spec.Kind == KindScale {
+			continue
+		}
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			t.Parallel()
+			seq, par := base, base
+			seq.Parallelism = 1
+			par.Parallelism = 4
+			f1, err := spec.Build(context.Background(), seq)
+			if err != nil {
+				t.Fatalf("parallelism 1: %v", err)
+			}
+			f4, err := spec.Build(context.Background(), par)
+			if err != nil {
+				t.Fatalf("parallelism 4: %v", err)
+			}
+			if f1.CSV() != f4.CSV() {
+				t.Errorf("figure %s CSV differs between parallelism 1 and 4:\n%s\nvs\n%s",
+					spec.ID, f1.CSV(), f4.CSV())
+			}
+		})
+	}
+}

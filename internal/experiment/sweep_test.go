@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"refer/internal/scenario"
+)
+
+// stubSweepRun substitutes run execution for the duration of a test; the
+// stub sees the exact per-job RunConfig the sweep built.
+func stubSweepRun(t *testing.T, fn func(ctx context.Context, cfg RunConfig) (Result, error)) {
+	t.Helper()
+	orig := sweepRun
+	sweepRun = fn
+	t.Cleanup(func() { sweepRun = orig })
+}
+
+// TestSweepAbortClampsTotal pins the early-stop contract: when a run fails,
+// the sweep stops scheduling, the remaining events carry Aborted, and the
+// final event reports Done == Total (clamped to the runs actually started)
+// instead of leaving Done < Total forever.
+func TestSweepAbortClampsTotal(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	stubSweepRun(t, func(ctx context.Context, cfg RunConfig) (Result, error) {
+		if calls.Add(1) == 3 {
+			return Result{}, boom
+		}
+		return Result{System: cfg.System}, nil
+	})
+
+	var events []ProgressEvent
+	o := Options{
+		Seeds:       []int64{1, 2, 3, 4, 5},
+		Systems:     []string{SystemREFER, SystemDaTree},
+		Parallelism: 1, // deterministic scheduling order
+		Progress:    func(ev ProgressEvent) { events = append(events, ev) },
+	}
+	_, err := sweep(context.Background(), o, []float64{1, 2}, func(x float64, seed int64) RunConfig {
+		return RunConfig{Scenario: scenario.Params{Seed: seed}}
+	}, func(r Result) float64 { return 1 })
+	if !errors.Is(err, boom) {
+		t.Fatalf("sweep error = %v, want %v", err, boom)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	last := events[len(events)-1]
+	if !last.Aborted {
+		t.Fatalf("final event not marked aborted: %+v", last)
+	}
+	if last.Done != last.Total {
+		t.Fatalf("final event Done=%d Total=%d, want equal after abort", last.Done, last.Total)
+	}
+	if last.Total >= 20 {
+		t.Fatalf("final Total=%d not clamped below the 20-job grid", last.Total)
+	}
+	// Events before the failure report the full grid and are not aborted.
+	if events[0].Aborted || events[0].Total != 20 {
+		t.Fatalf("first event: %+v, want Total=20, not aborted", events[0])
+	}
+}
+
+// TestSweepCancelBeforeStartEmitsAbort pins the zero-run abort path: a sweep
+// whose context is already cancelled still emits one terminal event.
+func TestSweepCancelBeforeStartEmitsAbort(t *testing.T) {
+	stubSweepRun(t, func(ctx context.Context, cfg RunConfig) (Result, error) {
+		t.Error("run executed under cancelled context")
+		return Result{}, nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var events []ProgressEvent
+	o := Options{
+		Seeds:    []int64{1},
+		Systems:  []string{SystemREFER},
+		Progress: func(ev ProgressEvent) { events = append(events, ev) },
+	}
+	_, err := sweep(ctx, o, []float64{1}, func(x float64, seed int64) RunConfig {
+		return RunConfig{}
+	}, func(r Result) float64 { return 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error = %v, want context.Canceled", err)
+	}
+	if len(events) != 1 || !events[0].Aborted || events[0].Done != 0 || events[0].Total != 0 {
+		t.Fatalf("events = %+v, want one terminal aborted event with Done == Total == 0", events)
+	}
+}
+
+// TestSweepBlockingProgressCallback pins the serialization fix: a progress
+// callback that blocks must not stall the workers — previously the callback
+// ran under the sweep mutex, so one blocked callback froze every worker's
+// stats accumulation (and a callback waiting on sweep output deadlocked).
+// All runs must complete while the very first callback is still blocked.
+func TestSweepBlockingProgressCallback(t *testing.T) {
+	const jobs = 8
+	var completed atomic.Int64
+	allDone := make(chan struct{})
+	stubSweepRun(t, func(ctx context.Context, cfg RunConfig) (Result, error) {
+		if completed.Add(1) == jobs {
+			close(allDone)
+		}
+		return Result{}, nil
+	})
+
+	release := make(chan struct{})
+	var events []ProgressEvent
+	o := Options{
+		Seeds:       []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		Systems:     []string{SystemREFER},
+		Parallelism: 4,
+		Progress: func(ev ProgressEvent) {
+			if len(events) == 0 {
+				<-release // first delivery blocks until the test releases it
+			}
+			events = append(events, ev)
+		},
+	}
+	sweepDone := make(chan error, 1)
+	go func() {
+		_, err := sweep(context.Background(), o, []float64{1}, func(x float64, seed int64) RunConfig {
+			return RunConfig{}
+		}, func(r Result) float64 { return 1 })
+		sweepDone <- err
+	}()
+
+	// Every run finishes even though no progress event has been delivered.
+	select {
+	case <-allDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workers stalled behind the blocked progress callback")
+	}
+	// The sweep drains pending events before returning, so it must still be
+	// in flight while the first callback blocks.
+	select {
+	case err := <-sweepDone:
+		t.Fatalf("sweep returned before progress drained (err=%v)", err)
+	default:
+	}
+	close(release)
+	if err := <-sweepDone; err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(events) != jobs {
+		t.Fatalf("delivered %d events, want %d", len(events), jobs)
+	}
+	for i, ev := range events {
+		if ev.Done != i+1 {
+			t.Fatalf("event %d has Done=%d: deliveries out of completion order: %+v", i, ev.Done, events)
+		}
+		if ev.Total != jobs || ev.Aborted {
+			t.Fatalf("event %d unexpected: %+v", i, ev)
+		}
+	}
+}
+
+// TestWithDefaultsAppliedOnce pins the defaults-idempotence guard: a second
+// application is a no-op, so a default that becomes non-idempotent (e.g.
+// derived seeds) cannot diverge between the figure builders (which apply
+// defaults early) and sweep (which re-guards for direct callers).
+func TestWithDefaultsAppliedOnce(t *testing.T) {
+	once := Options{}.withDefaults()
+	twice := once.withDefaults()
+	if !reflect.DeepEqual(once, twice) {
+		t.Fatalf("withDefaults not idempotent:\nonce:  %+v\ntwice: %+v", once, twice)
+	}
+	// The guard short-circuits entirely: the slices must be the very same
+	// backing arrays, not re-derived copies.
+	if &once.Seeds[0] != &twice.Seeds[0] || &once.Systems[0] != &twice.Systems[0] {
+		t.Fatal("second withDefaults re-derived the seed/system slices")
+	}
+	if !once.defaulted {
+		t.Fatal("withDefaults did not mark the options as defaulted")
+	}
+}

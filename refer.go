@@ -175,6 +175,39 @@ func RunContext(ctx context.Context, cfg RunConfig) (Result, error) {
 	return experiment.RunContext(ctx, cfg)
 }
 
+// KnownSystem reports whether name is a constructible system (the four
+// evaluated systems plus the registered ablation variants).
+func KnownSystem(name string) bool { return experiment.KnownSystem(name) }
+
+// KnownSystems lists every constructible system name, sorted.
+func KnownSystems() []string { return experiment.KnownSystems() }
+
+// RunHandle is a simulation started with StartRun: cancellable, with live
+// progress snapshots and a blocking Result accessor.
+type RunHandle = experiment.RunHandle
+
+// RunProgress is a virtual-clock progress snapshot of a running simulation.
+type RunProgress = experiment.RunProgress
+
+// StartRun launches a simulation asynchronously, invoking onProgress (when
+// non-nil) after every DES event batch. This is the primitive the
+// refer-simd daemon serves runs with.
+func StartRun(ctx context.Context, cfg RunConfig, onProgress func(RunProgress)) *RunHandle {
+	return experiment.StartRun(ctx, cfg, onProgress)
+}
+
+// ConfigKey returns the content address of a run configuration: the hex
+// SHA-256 of its fully-defaulted canonical form. Replay determinism makes
+// the key a cache address for the run's wall-clock-stripped Result.
+func ConfigKey(cfg RunConfig) (string, error) { return experiment.ConfigKey(cfg) }
+
+// OptionsKey is ConfigKey for a figure build: the content address of
+// (figure ID, sweep options), excluding fields that cannot change the
+// output (parallelism, progress callbacks).
+func OptionsKey(figureID string, o Options) (string, error) {
+	return experiment.OptionsKey(figureID, o)
+}
+
 // Options scales the figure sweeps (seeds, duration, systems, progress
 // reporting, trace sampling).
 type Options = experiment.Options
