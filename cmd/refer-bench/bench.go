@@ -15,6 +15,7 @@ import (
 
 	"refer"
 	"refer/internal/des"
+	"refer/internal/energy"
 	"refer/internal/kautz"
 	"refer/internal/simd"
 )
@@ -23,7 +24,7 @@ import (
 // whose results are appended to the tree as BENCH_<n>.json files, one per
 // measurement session, so optimization work leaves a comparable record
 // (schema documented in EXPERIMENTS.md). The suite is deliberately small —
-// five microbenchmarks over the simulation hot paths plus three macros (the
+// six microbenchmarks over the simulation hot paths plus three macros (the
 // Figure 4 sweep, the network-growth study, and a refer-simd serving-load
 // storm) — so CI can afford to run it on every change.
 
@@ -197,6 +198,32 @@ func benchMaintain(linear bool) (benchMicro, error) {
 		name = "maintain_once_linear"
 	}
 	return microResult(name, r), nil
+}
+
+// benchMeterCharge measures one Tx+Rx charge pair on a battery-constrained
+// energy meter priced by the distance-dependent radio model — the per-packet
+// cost of the pluggable energy layer, which sits on the radio hot path and
+// must stay allocation-free.
+func benchMeterCharge() benchMicro {
+	m := energy.NewMeter(energy.DefaultRadioModel(), 1e9)
+	dists := [...]float64{12, 45, 87, 95, 100}
+	i := 0
+	charge := func() {
+		d := dists[i%len(dists)]
+		i++
+		m.ChargeTx(energy.Communication, energy.DefaultPacketBits, d)
+		m.ChargeRx(energy.Communication, energy.DefaultPacketBits, d)
+	}
+	for k := 0; k < 64; k++ {
+		charge()
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			charge()
+		}
+	})
+	return microResult("meter_charge", r)
 }
 
 // benchFig4Quick runs the Figure 4 mobility sweep at quick scale (one seed,
@@ -389,6 +416,8 @@ func runBenchSuite(quiet bool, parallelism int) (string, error) {
 		return "", err
 	}
 	report.Micro = append(report.Micro, ml)
+	progress("bench: meter_charge...\n")
+	report.Micro = append(report.Micro, benchMeterCharge())
 	progress("bench: fig4_quick...\n")
 	fig4, err := benchFig4Quick(parallelism)
 	if err != nil {

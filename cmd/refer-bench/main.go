@@ -9,6 +9,7 @@
 //	refer-bench -json           # machine-readable output on stdout
 //	refer-bench -trace 100      # packet tracing, sampling every 100th packet
 //	refer-bench -chaos f.json   # attach a fault-injection schedule to every run
+//	refer-bench -energy radio   # price packets with the first-order radio model
 //	refer-bench -parallel 4     # bound sweep concurrency (figure output is identical)
 //	refer-bench -bench          # fixed perf suite → BENCH_<n>.json (see EXPERIMENTS.md)
 //
@@ -58,6 +59,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the figures as JSON on stdout instead of text tables")
 		traceN     = flag.Int("trace", 0, "attach packet tracing to every run, keeping every Nth packet's event stream (0 = off)")
 		chaosPath  = flag.String("chaos", "", "attach the fault-injection schedule in this JSON file to every run (see EXPERIMENTS.md)")
+		energyName = flag.String("energy", "", "per-packet cost model for every run: paper, radio or harvesting (default: each figure's own default — paper constants, except the L* lifetime figures which default to radio)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulation runs per sweep (0 = GOMAXPROCS); figure output is identical at any setting")
 		quiet      = flag.Bool("quiet", false, "suppress the live progress line on stderr")
 		warmup     = flag.Duration("warmup", 0, "override the warmup window (e.g. 5s; mainly for quick -fig S* passes)")
@@ -109,6 +111,12 @@ func main() {
 			fatal(err)
 		}
 		opts.Chaos = sched
+	}
+	if *energyName != "" {
+		opts.Energy = refer.EnergySpec{Model: *energyName}
+		if err := opts.Energy.Validate(); err != nil {
+			fatal(err)
+		}
 	}
 	if *seeds > 0 {
 		opts.Seeds = opts.Seeds[:0]

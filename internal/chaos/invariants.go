@@ -58,9 +58,11 @@ func (h *Harness) Observe(inj *Injector) {
 // given phase label:
 //
 //   - exact energy accounting: per meter, spent == construction + comm +
-//     drained and construction + comm == tx·TxCost + rx·RxCost (no phantom
+//     drained and — for distance-independent cost models —
+//     construction + comm + clipped == tx·TxCost + rx·RxCost (no phantom
 //     energy, no unmetered drain), a constrained battery is never
-//     overdrawn, and a depleted node is never alive;
+//     overdrawn net of harvesting income, harvesting never exceeds what
+//     was consumed, and a depleted node is never alive;
 //   - the drain ledgers reconcile globally against the world's counter;
 //   - packet conservation (when a trace recorder is attached): delivered +
 //     dropped never exceeds injected — mid-run the difference is the
@@ -104,24 +106,41 @@ func energyEps(magnitude float64) float64 {
 }
 
 func (h *Harness) checkEnergy() error {
-	model := h.w.Config().Energy
-	var totalDrained float64
+	cfg := h.w.Config()
+	// Packet-count repricing is only exact for distance-independent models;
+	// for distance-dependent ones (the first-order radio model) the
+	// per-packet price varies per link and the check does not apply.
+	var flatTx, flatRx float64
+	flat := false
+	if fm, ok := cfg.Energy.(energy.FlatModel); ok {
+		flatTx, flatRx, flat = fm.FlatCosts(cfg.PacketBits)
+	}
+	var totalDrained, totalHarvested float64
 	for _, n := range h.w.Nodes() {
 		m := n.Meter
 		spent, constr, comm, drained := m.Spent(), m.SpentOn(energy.Construction), m.SpentOn(energy.Communication), m.Drained()
+		harvested := m.Harvested()
 		totalDrained += drained
+		totalHarvested += harvested
 		if diff := spent - (constr + comm + drained); math.Abs(diff) > energyEps(spent) {
 			return fmt.Errorf("chaos: node %d: phantom energy: spent %.6f J but ledgers sum to %.6f J",
 				n.ID, spent, constr+comm+drained)
 		}
-		tx, rx := m.Packets()
-		radio := float64(tx)*model.TxCost + float64(rx)*model.RxCost
-		if diff := (constr + comm) - radio; math.Abs(diff) > energyEps(radio) {
-			return fmt.Errorf("chaos: node %d: ledgers hold %.6f J but %d tx + %d rx cost %.6f J",
-				n.ID, constr+comm, tx, rx, radio)
+		if flat {
+			tx, rx := m.Packets()
+			radio := float64(tx)*flatTx + float64(rx)*flatRx
+			if diff := (constr + comm + m.Clipped()) - radio; math.Abs(diff) > energyEps(radio) {
+				return fmt.Errorf("chaos: node %d: ledgers hold %.6f J (+%.6f J clipped) but %d tx + %d rx cost %.6f J",
+					n.ID, constr+comm, m.Clipped(), tx, rx, radio)
+			}
 		}
-		if m.Budget() > 0 && spent > m.Budget()+energyEps(m.Budget()) {
-			return fmt.Errorf("chaos: node %d: overdrawn battery: spent %.6f J of %.6f J", n.ID, spent, m.Budget())
+		if m.Budget() > 0 && spent-harvested > m.Budget()+energyEps(m.Budget()) {
+			return fmt.Errorf("chaos: node %d: overdrawn battery: spent %.6f J net of %.6f J harvested, budget %.6f J",
+				n.ID, spent, harvested, m.Budget())
+		}
+		if harvested > spent+energyEps(spent) {
+			return fmt.Errorf("chaos: node %d: harvested %.6f J above battery capacity (spent %.6f J)",
+				n.ID, harvested, spent)
 		}
 		if m.Depleted() && n.Alive() {
 			return fmt.Errorf("chaos: node %d is alive with a depleted battery", n.ID)
@@ -129,6 +148,9 @@ func (h *Harness) checkEnergy() error {
 	}
 	if counted := h.w.Stats().EnergyDrained; math.Abs(totalDrained-counted) > energyEps(counted) {
 		return fmt.Errorf("chaos: meters drained %.6f J but the world counted %.6f J", totalDrained, counted)
+	}
+	if counted := h.w.Stats().EnergyHarvested; math.Abs(totalHarvested-counted) > energyEps(counted) {
+		return fmt.Errorf("chaos: meters harvested %.6f J but the world counted %.6f J", totalHarvested, counted)
 	}
 	return nil
 }

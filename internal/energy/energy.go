@@ -1,15 +1,19 @@
 // Package energy models per-node battery accounting for the WSAN
-// simulator. The paper charges 2 J per transmitted packet and 0.75 J per
-// received packet (LinkQuest UWM1000 figures) and reports energy split into
-// a topology-construction ledger and a communication ledger; both splits
-// are first-class here.
+// simulator behind a pluggable cost-model interface. The paper charges
+// 2 J per transmitted packet and 0.75 J per received packet (LinkQuest
+// UWM1000 figures) — that is PaperModel, the default — while RadioModel
+// prices packets with the first-order distance-dependent radio model and
+// HarvestingModel adds ambient income and duty-cycled sleep on top of
+// either. Energy is reported split into a topology-construction ledger and
+// a communication ledger; both splits are first-class here.
 package energy
 
 import (
 	"fmt"
 )
 
-// Paper defaults (Joules per packet), Section IV.
+// Paper defaults (Joules per packet), Section IV. Consumed only by
+// PaperModel; all charging goes through the CostModel interface.
 const (
 	DefaultTxCost = 2.0
 	DefaultRxCost = 0.75
@@ -38,53 +42,63 @@ func (l Ledger) String() string {
 	}
 }
 
-// Model holds the per-packet radio costs.
-type Model struct {
-	TxCost float64 // Joules per transmitted packet
-	RxCost float64 // Joules per received packet
-}
-
-// DefaultModel returns the paper's cost model.
-func DefaultModel() Model {
-	return Model{TxCost: DefaultTxCost, RxCost: DefaultRxCost}
-}
-
 // Meter tracks one node's battery. The zero value is unusable; create
 // meters through NewMeter so the initial budget is recorded. Meter is not
 // safe for concurrent use: each simulation run owns its meters and charges
 // them from its single event loop, and analysis tooling reads them only
 // after the run completes. Charging is on the per-packet hot path, so the
 // accessors are plain field reads.
+//
+// A constrained meter never overdraws: the charge that would cross zero is
+// clipped to the Joules actually left, with the shortfall tracked in
+// Clipped so packet-count reconciliation stays exact
+// (construction + comm + clipped == Σ packet prices for flat models).
 type Meter struct {
-	model        Model
+	model        CostModel
 	initial      float64
 	spent        float64
 	construction float64
 	comm         float64
 	drained      float64
+	harvested    float64
+	clipped      float64
 	txPackets    int64
 	rxPackets    int64
 }
 
 // NewMeter creates a meter with the given battery budget in Joules. A
-// budget <= 0 means an unconstrained supply (mains-powered actuators).
-func NewMeter(model Model, budget float64) *Meter {
+// budget <= 0 means an unconstrained supply (mains-powered actuators). A
+// nil model means the paper's flat constants.
+func NewMeter(model CostModel, budget float64) *Meter {
+	if model == nil {
+		model = DefaultModel()
+	}
 	return &Meter{model: model, initial: budget}
 }
 
-// ChargeTx records the cost of transmitting one packet against the ledger.
-func (m *Meter) ChargeTx(l Ledger) {
-	m.charge(m.model.TxCost, l)
+// ChargeTx records the cost of transmitting bits over dist meters against
+// the ledger.
+func (m *Meter) ChargeTx(l Ledger, bits int, dist float64) {
+	m.charge(m.model.TxCost(bits, dist), l)
 	m.txPackets++
 }
 
-// ChargeRx records the cost of receiving one packet against the ledger.
-func (m *Meter) ChargeRx(l Ledger) {
-	m.charge(m.model.RxCost, l)
+// ChargeRx records the cost of receiving bits against the ledger.
+func (m *Meter) ChargeRx(l Ledger, bits int, dist float64) {
+	m.charge(m.model.RxCost(bits, dist), l)
 	m.rxPackets++
 }
 
 func (m *Meter) charge(cost float64, l Ledger) {
+	if m.initial > 0 {
+		if left := m.initial + m.harvested - m.spent; cost > left {
+			if left < 0 {
+				left = 0
+			}
+			m.clipped += cost - left
+			cost = left
+		}
+	}
 	m.spent += cost
 	switch l {
 	case Construction:
@@ -93,6 +107,31 @@ func (m *Meter) charge(cost float64, l Ledger) {
 		m.comm += cost
 	}
 }
+
+// Harvest banks income Joules into a constrained battery. Credit is capped
+// at the battery's capacity (a full battery banks nothing), so Remaining
+// never exceeds Budget and harvested never exceeds spent. Unconstrained
+// meters ignore income. Returns the Joules actually banked.
+func (m *Meter) Harvest(joules float64) float64 {
+	if m.initial <= 0 || joules <= 0 {
+		return 0
+	}
+	if room := m.spent - m.harvested; joules > room {
+		joules = room
+	}
+	if joules <= 0 {
+		return 0
+	}
+	m.harvested += joules
+	return joules
+}
+
+// Harvested returns the Joules banked via Harvest.
+func (m *Meter) Harvested() float64 { return m.harvested }
+
+// Clipped returns the Joules of charge demand that an empty battery could
+// not supply (the shortfall of clipped charges).
+func (m *Meter) Clipped() float64 { return m.clipped }
 
 // Drain removes joules from the battery outside the packet cost model —
 // fault-injection brownouts, leakage, self-discharge. The amount lands in
@@ -104,7 +143,7 @@ func (m *Meter) Drain(joules float64) float64 {
 	if m.initial <= 0 || joules <= 0 {
 		return 0
 	}
-	if left := m.initial - m.spent; joules > left {
+	if left := m.initial + m.harvested - m.spent; joules > left {
 		joules = left
 	}
 	if joules <= 0 {
@@ -134,13 +173,14 @@ func (m *Meter) SpentOn(l Ledger) float64 {
 	return m.comm
 }
 
-// Remaining returns the battery left, or +Inf-like large budget semantics:
-// for unconstrained meters (budget <= 0) it always returns 1.
+// Remaining returns the battery left (consumption net of harvesting), or
+// +Inf-like large budget semantics: for unconstrained meters (budget <= 0)
+// it always returns 1.
 func (m *Meter) Remaining() float64 {
 	if m.initial <= 0 {
 		return 1
 	}
-	r := m.initial - m.spent
+	r := m.initial + m.harvested - m.spent
 	if r < 0 {
 		return 0
 	}
@@ -153,15 +193,19 @@ func (m *Meter) Fraction() float64 {
 	if m.initial <= 0 {
 		return 1
 	}
-	f := (m.initial - m.spent) / m.initial
+	f := (m.initial + m.harvested - m.spent) / m.initial
 	if f < 0 {
 		return 0
 	}
 	return f
 }
 
-// Depleted reports whether a constrained battery has run out.
-func (m *Meter) Depleted() bool { return m.initial > 0 && m.spent >= m.initial }
+// Depleted reports whether a constrained battery has run out. Harvesting
+// can clear depletion again; the world folds both transitions into its
+// alive bookkeeping.
+func (m *Meter) Depleted() bool {
+	return m.initial > 0 && m.spent-m.harvested >= m.initial
+}
 
 // Packets returns the transmit and receive packet counts.
 func (m *Meter) Packets() (tx, rx int64) { return m.txPackets, m.rxPackets }

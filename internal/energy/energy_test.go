@@ -7,21 +7,21 @@ import (
 
 func TestDefaultModelMatchesPaper(t *testing.T) {
 	m := DefaultModel()
-	if m.TxCost != 2.0 {
-		t.Errorf("TxCost = %f, want 2.0 (paper Section IV)", m.TxCost)
+	if got := m.TxCost(DefaultPacketBits, 100); got != 2.0 {
+		t.Errorf("TxCost = %f, want 2.0 (paper Section IV)", got)
 	}
-	if m.RxCost != 0.75 {
-		t.Errorf("RxCost = %f, want 0.75 (paper Section IV)", m.RxCost)
+	if got := m.RxCost(DefaultPacketBits, 100); got != 0.75 {
+		t.Errorf("RxCost = %f, want 0.75 (paper Section IV)", got)
 	}
 }
 
 func TestMeterLedgers(t *testing.T) {
 	m := NewMeter(DefaultModel(), 100)
-	m.ChargeTx(Construction)
-	m.ChargeRx(Construction)
-	m.ChargeTx(Communication)
-	m.ChargeTx(Communication)
-	m.ChargeRx(Communication)
+	m.ChargeTx(Construction, DefaultPacketBits, 0)
+	m.ChargeRx(Construction, DefaultPacketBits, 0)
+	m.ChargeTx(Communication, DefaultPacketBits, 0)
+	m.ChargeTx(Communication, DefaultPacketBits, 0)
+	m.ChargeRx(Communication, DefaultPacketBits, 0)
 
 	if got, want := m.SpentOn(Construction), 2.75; got != want {
 		t.Errorf("construction = %f, want %f", got, want)
@@ -46,15 +46,15 @@ func TestMeterRemainingAndDepletion(t *testing.T) {
 	if got := m.Remaining(); got != 5 {
 		t.Fatalf("Remaining = %f, want 5", got)
 	}
-	m.ChargeTx(Communication) // 2 J
-	m.ChargeTx(Communication) // 2 J
+	m.ChargeTx(Communication, DefaultPacketBits, 0) // 2 J
+	m.ChargeTx(Communication, DefaultPacketBits, 0) // 2 J
 	if got := m.Remaining(); got != 1 {
 		t.Fatalf("Remaining = %f, want 1", got)
 	}
 	if got := m.Fraction(); math.Abs(got-0.2) > 1e-12 {
 		t.Fatalf("Fraction = %f, want 0.2", got)
 	}
-	m.ChargeTx(Communication) // overdraft
+	m.ChargeTx(Communication, DefaultPacketBits, 0) // overdraft
 	if !m.Depleted() {
 		t.Fatal("meter should be depleted")
 	}
@@ -69,7 +69,7 @@ func TestMeterRemainingAndDepletion(t *testing.T) {
 func TestMeterUnconstrained(t *testing.T) {
 	m := NewMeter(DefaultModel(), 0) // actuator: mains powered
 	for i := 0; i < 1000; i++ {
-		m.ChargeTx(Communication)
+		m.ChargeTx(Communication, DefaultPacketBits, 0)
 	}
 	if m.Depleted() {
 		t.Fatal("unconstrained meter depleted")
@@ -91,8 +91,8 @@ func TestMeterUnconstrained(t *testing.T) {
 func TestMeterExactAccounting(t *testing.T) {
 	m := NewMeter(DefaultModel(), 0)
 	for i := 0; i < 8000; i++ {
-		m.ChargeTx(Communication)
-		m.ChargeRx(Construction)
+		m.ChargeTx(Communication, DefaultPacketBits, 0)
+		m.ChargeRx(Construction, DefaultPacketBits, 0)
 	}
 	tx, rx := m.Packets()
 	if tx != 8000 || rx != 8000 {

@@ -1,0 +1,352 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CostModel prices one packet's radio work. Implementations must be pure
+// functions of their configuration: charging is on the per-packet hot path
+// and replay determinism requires the same (bits, dist) to always cost the
+// same Joules. dist is the link distance in meters at transmission time;
+// models that do not care about distance (the paper's flat constants)
+// simply ignore it.
+type CostModel interface {
+	// TxCost returns the Joules to transmit bits over dist meters.
+	TxCost(bits int, dist float64) float64
+	// RxCost returns the Joules to receive bits sent over dist meters.
+	RxCost(bits int, dist float64) float64
+}
+
+// FlatModel is implemented by cost models whose per-packet prices do not
+// depend on link distance. The invariant harness uses it to reconcile
+// packet counters against Joules exactly; distance-dependent models cannot
+// offer that check.
+type FlatModel interface {
+	// FlatCosts returns the fixed per-packet Tx and Rx prices for the given
+	// packet size, with ok=false when the model is distance-dependent.
+	FlatCosts(bits int) (tx, rx float64, ok bool)
+}
+
+// DefaultPacketBits is the packet size the world charges for when none is
+// configured: 8192 bits ≈ 1 KB, matching the default 2 ms hop delay at
+// 802.11 data rates.
+const DefaultPacketBits = 8192
+
+// PaperModel is the paper's flat per-packet cost model (Section IV,
+// LinkQuest UWM1000): every transmission costs TxJ and every reception RxJ,
+// regardless of packet size or link distance.
+type PaperModel struct {
+	TxJ float64 // Joules per transmitted packet
+	RxJ float64 // Joules per received packet
+}
+
+// DefaultModel returns the paper's cost model (2 J / 0.75 J per packet).
+func DefaultModel() PaperModel {
+	return PaperModel{TxJ: DefaultTxCost, RxJ: DefaultRxCost}
+}
+
+// TxCost implements CostModel.
+func (m PaperModel) TxCost(bits int, dist float64) float64 { return m.TxJ }
+
+// RxCost implements CostModel.
+func (m PaperModel) RxCost(bits int, dist float64) float64 { return m.RxJ }
+
+// FlatCosts implements FlatModel.
+func (m PaperModel) FlatCosts(bits int) (tx, rx float64, ok bool) {
+	return m.TxJ, m.RxJ, true
+}
+
+// First-order radio model defaults (LEACH): electronics energy per bit,
+// free-space and multipath amplifier coefficients. The crossover distance
+// d₀ = sqrt(EFs/EMp) ≈ 87.7 m sits below the 100 m default sensor range,
+// so both propagation regimes are exercised.
+const (
+	DefaultEElec = 50e-9       // J/bit — Tx/Rx electronics
+	DefaultEFs   = 10e-12      // J/bit/m² — free-space amplifier (d < d₀)
+	DefaultEMp   = 0.0013e-12  // J/bit/m⁴ — multipath amplifier (d ≥ d₀)
+)
+
+// RadioModel is the first-order radio energy model (LEACH/HEACT):
+//
+//	Tx(bits, d) = EElec·bits + EFs·bits·d²   for d < d₀
+//	Tx(bits, d) = EElec·bits + EMp·bits·d⁴   for d ≥ d₀
+//	Rx(bits)    = EElec·bits
+//
+// with d₀ = sqrt(EFs/EMp). The amplifier term is continuous at d₀ by
+// construction. The zero value prices everything at 0; use
+// DefaultRadioModel for the standard constants.
+type RadioModel struct {
+	EElec float64 // J/bit — transceiver electronics
+	EFs   float64 // J/bit/m² — free-space amplifier coefficient
+	EMp   float64 // J/bit/m⁴ — multipath amplifier coefficient
+}
+
+// DefaultRadioModel returns the standard LEACH first-order constants.
+func DefaultRadioModel() RadioModel {
+	return RadioModel{EElec: DefaultEElec, EFs: DefaultEFs, EMp: DefaultEMp}
+}
+
+// D0 returns the crossover distance sqrt(EFs/EMp) between the free-space
+// and multipath regimes (+Inf when EMp is 0 — free-space applies always).
+func (m RadioModel) D0() float64 {
+	if m.EMp <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(m.EFs / m.EMp)
+}
+
+// TxCost implements CostModel.
+func (m RadioModel) TxCost(bits int, dist float64) float64 {
+	b := float64(bits)
+	e := m.EElec * b
+	if m.EMp > 0 && dist*dist >= m.EFs/m.EMp {
+		d2 := dist * dist
+		return e + m.EMp*b*d2*d2
+	}
+	return e + m.EFs*b*dist*dist
+}
+
+// RxCost implements CostModel.
+func (m RadioModel) RxCost(bits int, dist float64) float64 {
+	return m.EElec * float64(bits)
+}
+
+// Harvesting defaults, following the EH-Network exemplar: ambient income
+// arrives continuously, is banked at a charge efficiency, and nodes
+// duty-cycle to stretch it.
+const (
+	DefaultHarvestRate      = 1e-3 // W — ambient income before conversion loss
+	DefaultChargeEfficiency = 0.75 // fraction of income actually banked
+	DefaultSleepFraction    = 0.2  // fraction of each period spent asleep
+)
+
+// DefaultHarvestPeriod is the DES scheduling period for harvest credits and
+// sleep windows.
+const DefaultHarvestPeriod = 10 * time.Second
+
+// HarvestingModel decorates a base cost model with energy-harvesting
+// income and duty-cycled sleep. Packet prices delegate to Base (nil means
+// the paper's flat constants); the harvesting side is interpreted by the
+// world, which schedules a periodic DES cycle that banks
+// ChargeEfficiency × HarvestRate × Period Joules into every constrained
+// meter (capped at battery capacity) and puts each constrained node to
+// sleep for SleepFraction of every period, staggered by node ID so the
+// network never sleeps all at once.
+type HarvestingModel struct {
+	Base CostModel // per-packet prices; nil means DefaultModel()
+
+	HarvestRate      float64       // W of ambient income; <= 0 means DefaultHarvestRate
+	ChargeEfficiency float64       // banked fraction in (0, 1]; <= 0 means DefaultChargeEfficiency
+	SleepFraction    float64       // sleep share of each period; 0 means DefaultSleepFraction, negative disables sleep
+	Period           time.Duration // harvest/sleep cycle length; <= 0 means DefaultHarvestPeriod
+}
+
+// TxCost implements CostModel by delegating to Base.
+func (h HarvestingModel) TxCost(bits int, dist float64) float64 {
+	if h.Base != nil {
+		return h.Base.TxCost(bits, dist)
+	}
+	return DefaultTxCost
+}
+
+// RxCost implements CostModel by delegating to Base.
+func (h HarvestingModel) RxCost(bits int, dist float64) float64 {
+	if h.Base != nil {
+		return h.Base.RxCost(bits, dist)
+	}
+	return DefaultRxCost
+}
+
+// FlatCosts implements FlatModel by delegating to Base.
+func (h HarvestingModel) FlatCosts(bits int) (tx, rx float64, ok bool) {
+	if h.Base == nil {
+		return DefaultTxCost, DefaultRxCost, true
+	}
+	if fm, is := h.Base.(FlatModel); is {
+		return fm.FlatCosts(bits)
+	}
+	return 0, 0, false
+}
+
+// EffectivePeriod returns Period with the default applied.
+func (h HarvestingModel) EffectivePeriod() time.Duration {
+	if h.Period <= 0 {
+		return DefaultHarvestPeriod
+	}
+	return h.Period
+}
+
+// IncomePerPeriod returns the Joules banked into a constrained meter per
+// cycle: ChargeEfficiency × HarvestRate × EffectivePeriod.
+func (h HarvestingModel) IncomePerPeriod() float64 {
+	rate := h.HarvestRate
+	if rate <= 0 {
+		rate = DefaultHarvestRate
+	}
+	eff := h.ChargeEfficiency
+	if eff <= 0 {
+		eff = DefaultChargeEfficiency
+	}
+	if eff > 1 {
+		eff = 1
+	}
+	return eff * rate * h.EffectivePeriod().Seconds()
+}
+
+// EffectiveSleepFraction returns the sleep share of each period in [0, 1):
+// zero SleepFraction means the default, a negative value disables sleep.
+func (h HarvestingModel) EffectiveSleepFraction() float64 {
+	f := h.SleepFraction
+	if f == 0 {
+		f = DefaultSleepFraction
+	}
+	if f < 0 {
+		return 0
+	}
+	if f >= 1 {
+		f = 0.99
+	}
+	return f
+}
+
+// Spec model names.
+const (
+	ModelPaper      = "paper"
+	ModelRadio      = "radio"
+	ModelHarvesting = "harvesting"
+)
+
+// Spec is the serializable description of a cost model, the form carried
+// by experiment.RunConfig and the refer-simd wire API. The zero value means
+// "use the default PaperModel" and canonicalizes to nothing, so
+// configurations written before the energy redesign keep their content
+// address. All fields are optional; zero means the model's default.
+type Spec struct {
+	// Model selects the implementation: "paper" (default), "radio" or
+	// "harvesting".
+	Model string `json:"model,omitempty"`
+
+	// PacketBits overrides the packet size the world charges for
+	// (default DefaultPacketBits).
+	PacketBits int `json:"packet_bits,omitempty"`
+
+	// Paper-model prices (Joules per packet).
+	TxJ float64 `json:"tx_j,omitempty"`
+	RxJ float64 `json:"rx_j,omitempty"`
+
+	// Radio-model coefficients.
+	EElec float64 `json:"e_elec,omitempty"` // J/bit
+	EFs   float64 `json:"e_fs,omitempty"`   // J/bit/m²
+	EMp   float64 `json:"e_mp,omitempty"`   // J/bit/m⁴
+
+	// Harvesting parameters. Base names the wrapped price model ("paper" or
+	// "radio", default "radio") and reuses the price fields above.
+	Base             string  `json:"base,omitempty"`
+	HarvestRate      float64 `json:"harvest_rate_w,omitempty"`
+	ChargeEfficiency float64 `json:"charge_efficiency,omitempty"`
+	SleepFraction    float64 `json:"sleep_fraction,omitempty"`
+	PeriodS          float64 `json:"period_s,omitempty"`
+}
+
+// IsZero reports whether the spec is the all-default zero value.
+func (s Spec) IsZero() bool { return s == Spec{} }
+
+// Validate checks the spec without building it.
+func (s Spec) Validate() error {
+	switch s.Model {
+	case "", ModelPaper, ModelRadio, ModelHarvesting:
+	default:
+		return fmt.Errorf("energy: unknown model %q (want %q, %q or %q)",
+			s.Model, ModelPaper, ModelRadio, ModelHarvesting)
+	}
+	switch s.Base {
+	case "", ModelPaper, ModelRadio:
+	default:
+		return fmt.Errorf("energy: unknown harvesting base %q (want %q or %q)",
+			s.Base, ModelPaper, ModelRadio)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"tx_j", s.TxJ}, {"rx_j", s.RxJ},
+		{"e_elec", s.EElec}, {"e_fs", s.EFs}, {"e_mp", s.EMp},
+		{"harvest_rate_w", s.HarvestRate}, {"period_s", s.PeriodS},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("energy: %s must be >= 0, got %g", f.name, f.v)
+		}
+	}
+	if s.PacketBits < 0 {
+		return fmt.Errorf("energy: packet_bits must be >= 0, got %d", s.PacketBits)
+	}
+	if s.ChargeEfficiency < 0 || s.ChargeEfficiency > 1 {
+		return fmt.Errorf("energy: charge_efficiency must be in [0, 1], got %g", s.ChargeEfficiency)
+	}
+	if s.SleepFraction < 0 || s.SleepFraction >= 1 {
+		return fmt.Errorf("energy: sleep_fraction must be in [0, 1), got %g", s.SleepFraction)
+	}
+	return nil
+}
+
+// paper builds the flat price model the spec describes.
+func (s Spec) paper() PaperModel {
+	m := DefaultModel()
+	if s.TxJ > 0 {
+		m.TxJ = s.TxJ
+	}
+	if s.RxJ > 0 {
+		m.RxJ = s.RxJ
+	}
+	return m
+}
+
+// radio builds the first-order radio model the spec describes.
+func (s Spec) radio() RadioModel {
+	m := DefaultRadioModel()
+	if s.EElec > 0 {
+		m.EElec = s.EElec
+	}
+	if s.EFs > 0 {
+		m.EFs = s.EFs
+	}
+	if s.EMp > 0 {
+		m.EMp = s.EMp
+	}
+	return m
+}
+
+// Build constructs the cost model the spec describes. The zero spec builds
+// (nil, nil): callers keep whatever default they already have.
+func (s Spec) Build() (CostModel, error) {
+	if s.IsZero() {
+		return nil, nil
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Model {
+	case "", ModelPaper:
+		return s.paper(), nil
+	case ModelRadio:
+		return s.radio(), nil
+	case ModelHarvesting:
+		var base CostModel
+		if s.Base == ModelPaper {
+			base = s.paper()
+		} else {
+			base = s.radio()
+		}
+		return HarvestingModel{
+			Base:             base,
+			HarvestRate:      s.HarvestRate,
+			ChargeEfficiency: s.ChargeEfficiency,
+			SleepFraction:    s.SleepFraction,
+			Period:           time.Duration(s.PeriodS * float64(time.Second)),
+		}, nil
+	default:
+		return nil, fmt.Errorf("energy: unknown model %q", s.Model)
+	}
+}

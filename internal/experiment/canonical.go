@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"refer/internal/chaos"
+	"refer/internal/energy"
 	"refer/internal/scenario"
 )
 
@@ -38,6 +39,10 @@ type canonicalRun struct {
 	QoSDeadline      time.Duration   `json:"qos_deadline_ns"`
 	Traced           bool            `json:"traced"`
 	Chaos            *chaos.Schedule `json:"chaos,omitempty"`
+	// Energy is appended after the pre-existing fields and omitted when the
+	// run uses the default model, so every config written before the energy
+	// redesign keeps its key (pinned by TestConfigKeyEnergyStability).
+	Energy *energy.Spec `json:"energy,omitempty"`
 }
 
 // ConfigKey returns the content address of a run: the hex SHA-256 of the
@@ -48,6 +53,15 @@ func ConfigKey(cfg RunConfig) (string, error) {
 	cfg = cfg.withDefaults()
 	if !KnownSystem(cfg.System) {
 		return "", fmt.Errorf("experiment: unknown system %q", cfg.System)
+	}
+	if cfg.Scenario.Energy != nil {
+		// An arbitrary CostModel value has no canonical serialization, so a
+		// key would collide across different models. Describe the model with
+		// RunConfig.Energy (an energy.Spec) instead.
+		return "", fmt.Errorf("experiment: Scenario.Energy carries a custom cost model with no canonical form; use RunConfig.Energy")
+	}
+	if err := cfg.Energy.Validate(); err != nil {
+		return "", err
 	}
 	c := canonicalRun{
 		System:           cfg.System,
@@ -63,6 +77,10 @@ func ConfigKey(cfg RunConfig) (string, error) {
 		QoSDeadline:      cfg.QoSDeadline,
 		Traced:           cfg.Trace != nil,
 		Chaos:            cfg.Chaos,
+	}
+	if !cfg.Energy.IsZero() {
+		spec := cfg.Energy
+		c.Energy = &spec
 	}
 	return hashJSON(c)
 }
@@ -81,6 +99,7 @@ type canonicalFigure struct {
 	PacketsPerSource int             `json:"packets_per_source"`
 	TraceSample      int             `json:"trace_sample"`
 	Chaos            *chaos.Schedule `json:"chaos,omitempty"`
+	Energy           *energy.Spec    `json:"energy,omitempty"`
 }
 
 // OptionsKey returns the content address of a figure build: the hex SHA-256
@@ -100,6 +119,13 @@ func OptionsKey(figureID string, o Options) (string, error) {
 		PacketsPerSource: o.PacketsPerSource,
 		TraceSample:      o.TraceSample,
 		Chaos:            o.Chaos,
+	}
+	if !o.Energy.IsZero() {
+		if err := o.Energy.Validate(); err != nil {
+			return "", err
+		}
+		spec := o.Energy
+		c.Energy = &spec
 	}
 	return hashJSON(c)
 }

@@ -166,6 +166,13 @@ type RunConfig struct {
 	// stream, so a nil schedule leaves the run byte-identical to builds
 	// without the subsystem. Applied-fault counters land in Stats.Chaos.
 	Chaos *chaos.Schedule
+	// Energy selects the per-packet cost model (see energy.Spec): the
+	// paper's flat constants (the zero value, default), the first-order
+	// distance-dependent radio model, or a harvesting wrapper with
+	// duty-cycled sleep. The zero value canonicalizes to nothing, so
+	// pre-existing ConfigKeys are unchanged. Ignored when
+	// Scenario.Energy carries an explicit model.
+	Energy energy.Spec
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -267,6 +274,18 @@ type RunStats struct {
 	FaultRecoveries uint64  `json:"fault_recoveries"`
 	LostSends       uint64  `json:"lost_sends"`
 	EnergyDrained   float64 `json:"energy_drained_j"`
+	// Lifetime markers under battery-constrained scenarios: FirstNodeDeath
+	// and HalfNodesDead latch the virtual times the first constrained node
+	// depleted and at which half of them were dead at once (-1 = never —
+	// the paper's evaluation runs unconstrained, so both are -1 there).
+	// NodeDeaths counts depletion transitions, NodeRevivals
+	// harvesting-driven recoveries, and EnergyHarvested sums the banked
+	// harvesting income in Joules.
+	FirstNodeDeath  time.Duration `json:"first_node_death_ns"`
+	HalfNodesDead   time.Duration `json:"half_nodes_dead_ns"`
+	NodeDeaths      uint64        `json:"node_deaths"`
+	NodeRevivals    uint64        `json:"node_revivals"`
+	EnergyHarvested float64       `json:"energy_harvested_j"`
 	// MaintainChecks counts cell containment/distance predicate evaluations
 	// spent homing sensors (REFER runs; zero otherwise) — the membership
 	// maintenance cost the scale figure plots. Rehomes counts sensors whose
@@ -338,6 +357,16 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 	}
 	start := time.Now()
 	cfg = cfg.withDefaults()
+	model, err := cfg.Energy.Build()
+	if err != nil {
+		return Result{}, err
+	}
+	if model != nil && cfg.Scenario.Energy == nil {
+		cfg.Scenario.Energy = model
+		if cfg.Scenario.PacketBits <= 0 {
+			cfg.Scenario.PacketBits = cfg.Energy.PacketBits
+		}
+	}
 	w := scenario.Build(cfg.Scenario)
 	w.SetTracer(cfg.Trace)
 	sys, err := NewSystem(cfg.System, w)
@@ -469,6 +498,11 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 		FaultRecoveries:    ws.FaultRecoveries,
 		LostSends:          ws.LostSends,
 		EnergyDrained:      ws.EnergyDrained,
+		FirstNodeDeath:     ws.FirstDeathAt,
+		HalfNodesDead:      ws.HalfDeadAt,
+		NodeDeaths:         ws.NodeDeaths,
+		NodeRevivals:       ws.NodeRevivals,
+		EnergyHarvested:    ws.EnergyHarvested,
 	}
 	if secs := stats.WallClock.Seconds(); secs > 0 {
 		stats.EventsPerSec = float64(stats.DESEvents) / secs

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"refer/internal/chaos"
+	"refer/internal/energy"
 	"refer/internal/metrics"
 	"refer/internal/scenario"
 	"refer/internal/trace"
@@ -49,6 +50,11 @@ type Options struct {
 	// per-point schedules). Applied-fault counters aggregate into the
 	// figure's SweepStats.
 	Chaos *chaos.Schedule
+	// Energy, when non-zero, applies the cost-model spec to every run of
+	// the sweep that does not already carry its own (the lifetime figures
+	// default to the radio model). The zero value keeps the paper's flat
+	// constants, leaving every pre-existing figure CSV byte-identical.
+	Energy energy.Spec
 
 	// figureID labels progress events with the owning registry entry; set
 	// by the registry wrapper, empty for direct sweep use.
@@ -275,6 +281,9 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 				}
 				if cfg.Chaos == nil {
 					cfg.Chaos = o.Chaos
+				}
+				if cfg.Energy.IsZero() {
+					cfg.Energy = o.Energy
 				}
 				jobs = append(jobs, job{cfg: cfg, cell: cell{sys: sys, x: xi}, x: x})
 			}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGoldenFigureCSV regenerates every committed figure CSV with the CI
+// quick-pass options (1 seed, 100 s warmup, 300 s window — exactly what
+// `refer-bench -seeds 1 -extras -csv` runs) and byte-compares against
+// testdata/figures/. Under the default paper cost model the energy redesign
+// must not move a single byte; the L-family baselines pin the radio-model
+// lifetime curves the same way. The full pass takes several minutes, so it
+// is gated behind REFER_GOLDEN_CSV=1; CI's scale-regression job performs
+// the same comparison on every push.
+func TestGoldenFigureCSV(t *testing.T) {
+	if os.Getenv("REFER_GOLDEN_CSV") == "" {
+		t.Skip("set REFER_GOLDEN_CSV=1 to regenerate and compare every committed figure CSV")
+	}
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "figures", "fig*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no committed figure CSVs found")
+	}
+	opts := Options{
+		Seeds:    []int64{1},
+		Warmup:   100 * time.Second,
+		Duration: 300 * time.Second,
+	}
+	for _, path := range files {
+		id := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "fig"), ".csv")
+		spec, ok := FigureByID(id)
+		if !ok {
+			t.Errorf("%s: no registered figure %q", filepath.Base(path), id)
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig, err := spec.Build(context.Background(), opts)
+		if err != nil {
+			t.Errorf("fig %s: %v", id, err)
+			continue
+		}
+		if got := fig.CSV(); got != string(want) {
+			t.Errorf("fig %s diverged from committed baseline (%d vs %d bytes)",
+				id, len(got), len(want))
+		}
+	}
+}

@@ -270,6 +270,7 @@ func TestRegistryContents(t *testing.T) {
 		"8": KindPaper, "9": KindPaper, "10": KindPaper, "11": KindPaper,
 		"A1": KindAblation, "A2": KindAblation, "A3": KindAblation,
 		"E1": KindExtension, "E2": KindExtension, "E3": KindExtension,
+		"L1": KindExtension, "L2": KindExtension, "L3": KindExtension,
 		"S1": KindScale, "S2": KindScale, "S3": KindScale,
 	}
 	if len(specs) != len(wantKinds) {

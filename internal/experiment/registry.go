@@ -105,6 +105,9 @@ var registry = []FigureSpec{
 	newSpec("E1", "Extension: QoS throughput in sparse deployments", KindExtension, extSparse),
 	newSpec("E2", "Extension: delivery ratio in sparse deployments", KindExtension, extSparseDeliveryRatio),
 	newSpec("E3", "Extension: K(2,3) vs K(3,3) cells under faults", KindExtension, extDegree),
+	newSpec("L1", "Lifetime: time to first node death vs battery budget", KindExtension, lifetimeFirstDeath),
+	newSpec("L2", "Lifetime: time to half nodes dead vs battery budget", KindExtension, lifetimeHalfDead),
+	newSpec("L3", "Lifetime: delivery ratio over network lifetime vs battery budget", KindExtension, lifetimeDelivery),
 	newSpec("S1", "Scale: delivery ratio vs network growth", KindScale, growthDelivery),
 	newSpec("S2", "Scale: transmission delay vs network growth", KindScale, growthDelay),
 	newSpec("S3", "Scale: membership-maintenance cost vs network growth", KindScale, growthMaintainCost),

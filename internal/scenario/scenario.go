@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"time"
 
+	"refer/internal/energy"
 	"refer/internal/geo"
 	"refer/internal/mobility"
 	"refer/internal/world"
@@ -47,6 +48,15 @@ type Params struct {
 	// GridSpacing is the lattice pitch in meters (default 150; only used
 	// when ActuatorGrid >= 2).
 	GridSpacing float64
+	// Energy overrides the world's per-packet cost model when non-nil; nil
+	// keeps the world default (the paper's flat constants). Excluded from
+	// serialization: runs driven through experiment.RunConfig describe
+	// models with the canonical energy.Spec instead, so the pre-existing
+	// canonical config encoding is unchanged.
+	Energy energy.CostModel `json:"-"`
+	// PacketBits overrides the charged packet size when > 0 (same
+	// serialization caveat as Energy).
+	PacketBits int `json:"-"`
 }
 
 // Defaults fills zero fields with the paper's values.
@@ -117,6 +127,12 @@ func Build(p Params) *world.World {
 	cfg.Seed = p.Seed
 	if p.HopJitter > 0 {
 		cfg.HopJitter = p.HopJitter
+	}
+	if p.Energy != nil {
+		cfg.Energy = p.Energy
+	}
+	if p.PacketBits > 0 {
+		cfg.PacketBits = p.PacketBits
 	}
 	w := world.New(cfg)
 	layout := ActuatorLayout(p.Side)

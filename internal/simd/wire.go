@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"refer/internal/chaos"
+	"refer/internal/energy"
 	"refer/internal/experiment"
 	"refer/internal/scenario"
 )
@@ -33,6 +34,10 @@ type RunRequest struct {
 	AnchorRadiusM float64 `json:"anchor_radius_m,omitempty"`
 	ActuatorGrid  int     `json:"actuator_grid,omitempty"`
 	GridSpacingM  float64 `json:"grid_spacing_m,omitempty"`
+	// SensorBatteryJ constrains every sensor to a battery budget in Joules
+	// (0: unconstrained, the paper's setting). Pair with an energy spec for
+	// lifetime studies.
+	SensorBatteryJ float64 `json:"sensor_battery_j,omitempty"`
 	// Run windows and traffic pattern.
 	WarmupS          float64 `json:"warmup_s,omitempty"`
 	DurationS        float64 `json:"duration_s,omitempty"`
@@ -47,6 +52,10 @@ type RunRequest struct {
 	// Chaos optionally attaches a deterministic fault schedule (same JSON
 	// schema as refer-bench -chaos; see EXPERIMENTS.md).
 	Chaos *chaos.Schedule `json:"chaos,omitempty"`
+	// Energy optionally selects a per-packet cost model (same schema as
+	// RunConfig.Energy; see EXPERIMENTS.md). Absent keeps the paper's flat
+	// constants and the run's cache key unchanged.
+	Energy *energy.Spec `json:"energy,omitempty"`
 }
 
 // secs converts a seconds field, rejecting negatives.
@@ -70,6 +79,9 @@ func (r RunRequest) Config() (experiment.RunConfig, error) {
 	if r.MaxSpeed < 0 {
 		return experiment.RunConfig{}, fmt.Errorf("max_speed must be >= 0, got %g", r.MaxSpeed)
 	}
+	if r.SensorBatteryJ < 0 {
+		return experiment.RunConfig{}, fmt.Errorf("sensor_battery_j must be >= 0, got %g", r.SensorBatteryJ)
+	}
 	cfg := experiment.RunConfig{
 		System: r.System,
 		Scenario: scenario.Params{
@@ -82,6 +94,7 @@ func (r RunRequest) Config() (experiment.RunConfig, error) {
 			AnchorRadius:  r.AnchorRadiusM,
 			ActuatorGrid:  r.ActuatorGrid,
 			GridSpacing:   r.GridSpacingM,
+			SensorBattery: r.SensorBatteryJ,
 		},
 		Sources:          r.Sources,
 		PacketsPerSource: r.PacketsPerSource,
@@ -112,6 +125,12 @@ func (r RunRequest) Config() (experiment.RunConfig, error) {
 		}
 		cfg.Chaos = r.Chaos
 	}
+	if r.Energy != nil {
+		if err := r.Energy.Validate(); err != nil {
+			return experiment.RunConfig{}, fmt.Errorf("energy spec: %w", err)
+		}
+		cfg.Energy = *r.Energy
+	}
 	return cfg, nil
 }
 
@@ -130,6 +149,9 @@ type FigureRequest struct {
 	// at any worker count, so this is a latency knob, not a result knob.
 	Parallelism int             `json:"parallelism,omitempty"`
 	Chaos       *chaos.Schedule `json:"chaos,omitempty"`
+	// Energy optionally prices every run of the sweep with a cost model
+	// (same schema as RunConfig.Energy; see EXPERIMENTS.md).
+	Energy *energy.Spec `json:"energy,omitempty"`
 }
 
 // Options converts the wire request into sweep options.
@@ -162,6 +184,12 @@ func (r FigureRequest) Options() (experiment.Options, error) {
 			return experiment.Options{}, fmt.Errorf("chaos schedule: %w", err)
 		}
 		o.Chaos = r.Chaos
+	}
+	if r.Energy != nil {
+		if err := r.Energy.Validate(); err != nil {
+			return experiment.Options{}, fmt.Errorf("energy spec: %w", err)
+		}
+		o.Energy = *r.Energy
 	}
 	return o, nil
 }

@@ -9,7 +9,9 @@
 //   - per-hop transmission time plus random backoff, with sender-side
 //     queueing so congested relays build delay,
 //   - per-packet Tx/Rx energy charged to construction or communication
-//     ledgers (2 / 0.75 J as in Section IV),
+//     ledgers through a pluggable cost model (the paper's flat 2 / 0.75 J
+//     by default; optionally the distance-dependent first-order radio
+//     model, with or without harvesting income and duty-cycled sleep),
 //   - broadcast and TTL-bounded flooding (the expensive repair primitive
 //     of the baseline systems),
 //   - node mobility via closed-form mobility models, and fault injection.
@@ -101,8 +103,14 @@ type Config struct {
 	Region geo.Rect
 	// Seed drives all randomness in the world.
 	Seed int64
-	// Energy is the per-packet cost model.
-	Energy energy.Model
+	// Energy is the per-packet cost model; nil means the paper's flat
+	// constants (energy.DefaultModel). An energy.HarvestingModel
+	// additionally makes the world schedule its periodic harvest-credit and
+	// duty-cycled sleep events on the DES.
+	Energy energy.CostModel
+	// PacketBits is the packet size charged per transmission/reception
+	// (default energy.DefaultPacketBits). Flat models ignore it.
+	PacketBits int
 	// HopDelay is the packet transmission time at the radio bit rate.
 	HopDelay time.Duration
 	// HopJitter is the maximum random MAC backoff added per transmission.
@@ -139,18 +147,25 @@ type Node struct {
 	failed bool
 	// drained mirrors Meter.Depleted(). Every charge flows through the
 	// world's charge wrappers, which set it on the depletion transition (and
-	// bump aliveGen), so Alive is two flag reads on the forwarding hot path
-	// instead of a battery recomputation.
-	drained   bool
+	// bump aliveGen), so Alive is three flag reads on the forwarding hot
+	// path instead of a battery recomputation. Harvesting income can clear
+	// it again (the world's energy cycle handles the revival transition).
+	drained bool
+	// asleep marks a duty-cycled sleep window scheduled by the world's
+	// energy cycle; sleeping nodes are not Alive.
+	asleep    bool
 	busyUntil time.Duration
 }
 
 // Failed reports whether the node is currently injected as faulty.
 func (n *Node) Failed() bool { return n.failed }
 
+// Asleep reports whether the node is inside a duty-cycled sleep window.
+func (n *Node) Asleep() bool { return n.asleep }
+
 // Alive reports whether the node can participate in the protocol: not
-// faulty and not battery-depleted.
-func (n *Node) Alive() bool { return !n.failed && !n.drained }
+// faulty, not battery-depleted and not duty-cycled asleep.
+func (n *Node) Alive() bool { return !n.failed && !n.drained && !n.asleep }
 
 // World is the simulated WSAN.
 type World struct {
@@ -198,6 +213,16 @@ type World struct {
 	// violating the borrowed-slice contract. See EnableBorrowChecks.
 	borrowShadows []borrowShadow
 
+	// Lifetime bookkeeping: constrained counts battery-limited nodes,
+	// depletedNow how many of them are currently dead, for the
+	// FirstDeathAt/HalfDeadAt latches.
+	constrained int
+	depletedNow int
+
+	// harvest is the harvesting interpretation of cfg.Energy, when it has
+	// one; the periodic credit/sleep cycle is scheduled iff non-nil.
+	harvest *energy.HarvestingModel
+
 	stats Stats
 }
 
@@ -239,6 +264,17 @@ type Stats struct {
 	LostSends uint64
 	// EnergyDrained sums Joules removed through DrainBattery (brownouts).
 	EnergyDrained float64
+	// EnergyHarvested sums Joules banked by the harvesting cycle.
+	EnergyHarvested float64
+	// NodeDeaths counts battery-depletion transitions; NodeRevivals counts
+	// harvesting-driven recoveries from depletion.
+	NodeDeaths   uint64
+	NodeRevivals uint64
+	// FirstDeathAt and HalfDeadAt latch the virtual times the first
+	// battery-constrained node died and at which half of them were dead at
+	// once; -1 means the event never happened.
+	FirstDeathAt time.Duration
+	HalfDeadAt   time.Duration
 }
 
 // Stats returns a snapshot of the world's spatial-index counters.
@@ -266,12 +302,82 @@ func New(cfg Config) *World {
 	if cfg.Region.Width() <= 0 || cfg.Region.Height() <= 0 {
 		cfg.Region = DefaultConfig().Region
 	}
-	if cfg.Energy == (energy.Model{}) {
+	if cfg.Energy == nil {
 		cfg.Energy = energy.DefaultModel()
 	}
-	return &World{
+	if cfg.PacketBits <= 0 {
+		cfg.PacketBits = energy.DefaultPacketBits
+	}
+	w := &World{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	w.stats.FirstDeathAt = -1
+	w.stats.HalfDeadAt = -1
+	if h, ok := cfg.Energy.(energy.HarvestingModel); ok {
+		w.harvest = &h
+		w.scheduleEnergyCycle()
+	}
+	return w
+}
+
+// scheduleEnergyCycle starts the harvesting model's periodic cycle: every
+// period, bank the harvest income into each constrained meter (reviving
+// nodes whose batteries climb back above empty) and lay out the coming
+// period's duty-cycled sleep windows, staggered by node ID so the network
+// never sleeps all at once. The cycle is pure DES bookkeeping driven by
+// node IDs and the fixed period — no randomness — so replays stay
+// byte-identical.
+func (w *World) scheduleEnergyCycle() {
+	period := w.harvest.EffectivePeriod()
+	income := w.harvest.IncomePerPeriod()
+	sleepDur := time.Duration(w.harvest.EffectiveSleepFraction() * float64(period))
+	awake := period - sleepDur
+	const sleepPhases = 8
+	var cycle func()
+	cycle = func() {
+		now := w.Sched.Now()
+		for _, n := range w.nodes {
+			if n.Meter.Budget() <= 0 {
+				continue
+			}
+			if income > 0 {
+				banked := n.Meter.Harvest(income)
+				w.stats.EnergyHarvested += banked
+				if n.drained && !n.Meter.Depleted() {
+					n.drained = false
+					w.aliveGen++
+					w.depletedNow--
+					w.stats.NodeRevivals++
+				}
+			}
+			if sleepDur > 0 {
+				id := n.ID
+				phase := awake * time.Duration(int(id)%sleepPhases) / sleepPhases
+				w.mustAt(now+phase, func() { w.setAsleep(id, true) })
+				w.mustAt(now+phase+sleepDur, func() { w.setAsleep(id, false) })
+			}
+		}
+		w.mustAt(now+period, cycle)
+	}
+	w.mustAt(period, cycle)
+}
+
+// mustAt schedules fn at a future virtual time; scheduling in the past is
+// always a programming error here.
+func (w *World) mustAt(at time.Duration, fn func()) {
+	if _, err := w.Sched.At(at, fn); err != nil {
+		panic(fmt.Sprintf("world: energy cycle: %v", err))
+	}
+}
+
+// setAsleep flips a node's duty-cycle sleep state, folding the Alive
+// transition into aliveGen so cached alive subsets notice it.
+func (w *World) setAsleep(id NodeID, asleep bool) {
+	n := w.nodes[id]
+	if n.asleep != asleep {
+		n.asleep = asleep
+		w.aliveGen++
 	}
 }
 
@@ -309,6 +415,9 @@ func (w *World) AddNode(kind Kind, mob mobility.Model, radioRange, battery float
 	w.caches = append(w.caches, nodeCache{})
 	if kind == Actuator {
 		w.actuators = append(w.actuators, n.ID)
+	}
+	if battery > 0 {
+		w.constrained++
 	}
 	// Fold the node's speed bound into the world bound. A model that cannot
 	// bound itself forces the conservative regime: rebuild on every clock
@@ -414,24 +523,37 @@ func (w *World) DrainBattery(id NodeID, fraction float64) float64 {
 }
 
 // noteDepletion folds a battery-depletion transition into aliveGen so the
-// cached alive subsets notice the node's death. Called after every charge;
-// the drained flag makes the transition fire exactly once.
+// cached alive subsets notice the node's death, and latches the lifetime
+// markers (first node death, half the constrained nodes dead). Called
+// after every charge; the drained flag makes the transition fire exactly
+// once per death (harvesting revivals re-arm it).
 func (w *World) noteDepletion(n *Node) {
 	if !n.drained && n.Meter.Depleted() {
 		n.drained = true
 		w.aliveGen++
+		w.depletedNow++
+		w.stats.NodeDeaths++
+		now := w.Sched.Now()
+		if w.stats.FirstDeathAt < 0 {
+			w.stats.FirstDeathAt = now
+		}
+		if w.stats.HalfDeadAt < 0 && 2*w.depletedNow >= w.constrained {
+			w.stats.HalfDeadAt = now
+		}
 	}
 }
 
 // chargeTx and chargeRx are the only paths energy leaves a meter on, so
-// depletion transitions are always observed.
-func (w *World) chargeTx(n *Node, l energy.Ledger) {
-	n.Meter.ChargeTx(l)
+// depletion transitions are always observed. dist is the link distance the
+// transmit amplifier must cover; receptions are distance-independent in
+// every model, so chargeRx passes 0.
+func (w *World) chargeTx(n *Node, l energy.Ledger, dist float64) {
+	n.Meter.ChargeTx(l, w.cfg.PacketBits, dist)
 	w.noteDepletion(n)
 }
 
 func (w *World) chargeRx(n *Node, l energy.Ledger) {
-	n.Meter.ChargeRx(l)
+	n.Meter.ChargeRx(l, w.cfg.PacketBits, 0)
 	w.noteDepletion(n)
 }
 
@@ -664,10 +786,18 @@ func (w *World) Send(from, to NodeID, ledger energy.Ledger, onDone func(Outcome)
 		return
 	}
 	end := w.acquireRadio(sender, w.txDelay())
-	w.chargeTx(sender, ledger)
+	// The transmit amplifier covers the receiver's actual distance (power
+	// control), capped at the sender's own range for out-of-range attempts
+	// transmitted at full power.
+	dist := w.Distance(from, to)
+	txDist := dist
+	if txDist > sender.Range {
+		txDist = sender.Range
+	}
+	w.chargeTx(sender, ledger, txDist)
 	receiver := w.nodes[to]
 	switch {
-	case w.Distance(from, to) > w.LinkRange(from, to):
+	case dist > w.LinkRange(from, to):
 		w.tracer.RadioSend(false)
 		done(OutOfRange, end+w.cfg.AckTimeout)
 	case !receiver.Alive():
@@ -696,7 +826,8 @@ func (w *World) Broadcast(from NodeID, ledger energy.Ledger, deliver func(to Nod
 	}
 	w.tracer.RadioBroadcast()
 	end := w.acquireRadio(sender, w.txDelay())
-	w.chargeTx(sender, ledger)
+	// Broadcasts transmit at full power: the amplifier covers the whole range.
+	w.chargeTx(sender, ledger, sender.Range)
 	targets := w.AliveNeighbors(nil, from)
 	for _, id := range targets {
 		id := id
@@ -740,7 +871,7 @@ func (w *World) Flood(origin NodeID, ttl int, ledger energy.Ledger, visit FloodV
 		}
 		w.tracer.RadioBroadcast()
 		end := w.acquireRadio(node, w.txDelay())
-		w.chargeTx(node, ledger)
+		w.chargeTx(node, ledger, node.Range)
 		for _, nb := range w.AliveNeighbors(nil, at) {
 			nb := nb
 			w.chargeRx(w.nodes[nb], ledger) // every copy is heard

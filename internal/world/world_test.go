@@ -48,8 +48,11 @@ func TestNewAppliesDefaults(t *testing.T) {
 	if cfg.Region.Width() != 500 {
 		t.Fatalf("default region = %+v", cfg.Region)
 	}
-	if cfg.Energy.TxCost != energy.DefaultTxCost {
+	if m, ok := cfg.Energy.(energy.PaperModel); !ok || m.TxJ != energy.DefaultTxCost {
 		t.Fatalf("default energy = %+v", cfg.Energy)
+	}
+	if cfg.PacketBits != energy.DefaultPacketBits {
+		t.Fatalf("default packet bits = %d", cfg.PacketBits)
 	}
 }
 

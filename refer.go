@@ -30,6 +30,7 @@ import (
 	"refer/internal/core"
 	"refer/internal/datree"
 	"refer/internal/ddear"
+	"refer/internal/energy"
 	"refer/internal/experiment"
 	"refer/internal/kautz"
 	"refer/internal/kautzoverlay"
@@ -241,7 +242,7 @@ const (
 func Figures() []FigureSpec { return experiment.Figures() }
 
 // FigureByID looks up a registered figure ("4"…"11", "A1"…"A3", "E1"…"E3",
-// "S1"…"S3").
+// "L1"…"L3", "S1"…"S3").
 func FigureByID(id string) (FigureSpec, bool) { return experiment.FigureByID(id) }
 
 // Figure generators for the paper's evaluation.
@@ -268,6 +269,58 @@ func AllFigures(o Options) ([]Figure, error) { return experiment.AllFigures(o) }
 func AllFiguresContext(ctx context.Context, o Options) ([]Figure, error) {
 	return experiment.AllFiguresContext(ctx, o)
 }
+
+// ---- Pluggable energy models ----
+
+// CostModel prices every radio operation: the Joules to transmit or
+// receive a packet of the given size over a link of the given length.
+// Implementations must be pure functions of their arguments — the replay
+// determinism guarantee (and the result cache built on it) depends on
+// charges being reproducible. Plug a custom model into a single run via
+// ScenarioParams.Energy; the built-in models are also selectable by name
+// through RunConfig.Energy / Options.Energy, which canonicalize into
+// cache keys.
+type CostModel = energy.CostModel
+
+// PaperModel charges the paper's flat per-packet constants (2 J transmit,
+// 0.75 J receive), ignoring packet size and link distance. The default.
+type PaperModel = energy.PaperModel
+
+// RadioModel is the first-order radio model: electronics cost per bit
+// plus amplifier cost growing with d² (free space) or d⁴ (multipath)
+// past the crossover distance D0.
+type RadioModel = energy.RadioModel
+
+// HarvestingModel wraps any cost model with periodic energy-harvesting
+// income and duty-cycled sleep, both driven by DES events.
+type HarvestingModel = energy.HarvestingModel
+
+// EnergySpec is the serializable selection of a built-in cost model; the
+// zero value means "the paper's flat constants". Set it on
+// RunConfig.Energy (one run) or Options.Energy (a whole sweep).
+type EnergySpec = energy.Spec
+
+// Built-in cost-model names for EnergySpec.Model.
+const (
+	EnergyModelPaper      = energy.ModelPaper
+	EnergyModelRadio      = energy.ModelRadio
+	EnergyModelHarvesting = energy.ModelHarvesting
+)
+
+// DefaultEnergyModel returns the paper's flat-cost model.
+func DefaultEnergyModel() PaperModel { return energy.DefaultModel() }
+
+// DefaultRadioModel returns the first-order radio model with the
+// standard constants (50 nJ/bit electronics, 10 pJ/bit/m² free-space and
+// 0.0013 pJ/bit/m⁴ multipath amplifiers).
+func DefaultRadioModel() RadioModel { return energy.DefaultRadioModel() }
+
+// Lifetime figure generators (the energy-model extension study).
+var (
+	FigL1 = experiment.FigL1
+	FigL2 = experiment.FigL2
+	FigL3 = experiment.FigL3
+)
 
 // ---- Deterministic fault injection ----
 
