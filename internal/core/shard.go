@@ -1,0 +1,325 @@
+package core
+
+// Intra-run parallelism for the per-round bulk maintenance phases
+// (DESIGN.md §11). One maintenance round runs inside a single DES event, so
+// the only state changes during it are the round's own; that lets the two
+// embarrassingly-parallel bulk phases — per-sensor membership re-homing and
+// the per-cell candidate-pool/containment precompute — fan out across a
+// worker pool while every side effect stays serial:
+//
+//	phase 1 (parallel)  each shard re-homes a contiguous NodeID range into
+//	                    private re-home decisions; merge applies them in
+//	                    NodeID order.
+//	phase 2 (parallel)  each shard precomputes, for a contiguous cell range,
+//	                    the sorted candidate pool and the pure geometric
+//	                    containment bit of every overlay sensor.
+//	merge   (serial)    the sequential per-cell loop, verbatim, consuming
+//	                    the precomputed pools (guarded by the world's
+//	                    liveness generation) and containment bits. All RNG
+//	                    draws, energy charges, replacements and map
+//	                    mutations happen here, in the sequential order.
+//
+// No shard ever mutates the world, an energy.Meter, or the cell maps; shards
+// only read the snapshot the round started from and write private scratch.
+// That makes the output byte-identical to the sequential path at every
+// RunParallelism setting — the replay-determinism contract extends to shards
+// (pinned by TestMaintainShardEquivalence and TestRunParallelismInvariance).
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"refer/internal/energy"
+	"refer/internal/geo"
+	"refer/internal/world"
+)
+
+// rehome is one shard-computed membership decision: sensor id moves to the
+// cell at cells[owner] (owner < 0: no owning cell). The previous cell is
+// re-read at merge time — nothing rewrites it between decision and merge.
+type rehome struct {
+	id    world.NodeID
+	owner int32
+}
+
+// shardPlan is the reusable worker-pool state of a sharded system: one
+// private cursor, scratch buffer set and pprof-labeled context per worker,
+// plus per-cell precompute storage. Built lazily on the first parallel round
+// and reused every round after, so steady-state rounds allocate only the
+// worker goroutines themselves.
+type shardPlan struct {
+	workers int
+	// ctxs carry the per-worker pprof labels (cell-shard=<i>), precomputed
+	// so labeling a round's goroutines allocates nothing.
+	ctxs []context.Context
+	// cursors are the workers' private TriIndex query handles (nil slots
+	// under DisableCellIndex).
+	cursors []*geo.TriCursor
+	// rehomes collects phase-1 decisions per worker, in NodeID order within
+	// each worker and across workers (contiguous ranges).
+	rehomes [][]rehome
+	// pool and geoOK are phase-2 outputs indexed by cell position in
+	// s.cells: the cell's sorted candidate pool and, aligned with
+	// sortedKIDs, whether each KID's holder is geometrically inside the
+	// cell (actuator slots hold true and are never position-read).
+	pool  [][]world.NodeID
+	geoOK [][]bool
+}
+
+// plan returns the worker plan, building it on first use. The worker count
+// is clamped to the cell count — more workers than cells cannot help phase 2
+// and keeps phase 1 ranges sane.
+func (s *System) plan() *shardPlan {
+	if s.shards != nil {
+		return s.shards
+	}
+	n := s.cfg.RunParallelism
+	if n > len(s.cells) {
+		n = len(s.cells)
+	}
+	if n < 1 {
+		n = 1
+	}
+	p := &shardPlan{
+		workers: n,
+		ctxs:    make([]context.Context, n),
+		cursors: make([]*geo.TriCursor, n),
+		rehomes: make([][]rehome, n),
+		pool:    make([][]world.NodeID, len(s.cells)),
+		geoOK:   make([][]bool, len(s.cells)),
+	}
+	for i := 0; i < n; i++ {
+		p.ctxs[i] = pprof.WithLabels(context.Background(),
+			pprof.Labels("cell-shard", strconv.Itoa(i)))
+		if s.cellIndex != nil {
+			p.cursors[i] = s.cellIndex.Cursor()
+		}
+	}
+	s.shards = p
+	return p
+}
+
+// shardRange returns worker i's half-open slice [lo, hi) of n items split
+// into p.workers contiguous ranges.
+func (p *shardPlan) shardRange(i, n int) (lo, hi int) {
+	per := (n + p.workers - 1) / p.workers
+	lo = i * per
+	hi = lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// run fans fn out across the plan's workers (each labeled for pprof) and
+// waits for all of them — the barrier between phases.
+func (p *shardPlan) run(fn func(worker int)) {
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	for i := 0; i < p.workers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			pprof.SetGoroutineLabels(p.ctxs[i])
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// maintainParallel is maintainOnce with the bulk phases sharded. The caller
+// guarantees RunParallelism > 1 and at least one cell.
+func (s *System) maintainParallel() {
+	p := s.plan()
+	t0 := time.Now()
+	s.refreshMembershipSharded(p)
+	t1 := time.Now()
+	// Snapshot the liveness generation before precomputing pools: any charge
+	// applied during the serial merge that flips a node's Alive() bumps the
+	// generation and invalidates every not-yet-consumed pool (the sequential
+	// path would have seen the flip). Membership and the precompute phases
+	// themselves never charge, so the snapshot is stable across both.
+	aliveGen := s.w.AliveGen()
+	p.run(func(worker int) {
+		lo, hi := p.shardRange(worker, len(s.cells))
+		for ci := lo; ci < hi; ci++ {
+			s.precomputeCell(p, ci)
+		}
+	})
+	t2 := time.Now()
+	s.mergeCells(p, aliveGen)
+	t3 := time.Now()
+	s.stats.ShardRounds++
+	s.stats.MembershipPhaseNs += t1.Sub(t0).Nanoseconds()
+	s.stats.CellPhaseNs += t2.Sub(t1).Nanoseconds()
+	s.stats.MergeNs += t3.Sub(t2).Nanoseconds()
+}
+
+// refreshMembershipSharded is refreshMembership with the per-sensor loop
+// partitioned across workers. Each sensor's decision depends only on state
+// no other sensor's decision writes — sensorCell/kidOfNode are read-only
+// during the loop, the position memo slots are per-sensor, and cell
+// ownership is a pure function of position over triangles fixed at build
+// time — so contiguous NodeID ranges shard cleanly and the merge applies
+// the map mutations in NodeID order, reproducing the sequential loop
+// exactly. Falls back to the sequential loop under DisableCellIndex, whose
+// linear scans count work into the stats directly.
+func (s *System) refreshMembershipSharded(p *shardPlan) {
+	if s.cellIndex == nil {
+		s.refreshMembership()
+		return
+	}
+	if s.w.MaxSpeed() == 0 && len(s.homeValid) >= s.w.Len() {
+		return
+	}
+	// Pre-grow the position memo so shards write disjoint slots without
+	// touching the slice headers. Sequentially the memo grows only up to the
+	// highest sensor ID homed; covering every node instead can only turn
+	// later rounds' "grow then home" into "memo invalid, home" — the same
+	// decisions — and arms the static-world short-circuit above no earlier
+	// than a full sequential pass would produce identical outcomes anyway.
+	for len(s.homePos) < s.w.Len() {
+		s.homePos = append(s.homePos, geo.Point{})
+		s.homeValid = append(s.homeValid, false)
+	}
+	nodes := s.w.Nodes()
+	p.run(func(worker int) {
+		lo, hi := p.shardRange(worker, len(nodes))
+		out := p.rehomes[worker][:0]
+		cur := p.cursors[worker]
+		for _, n := range nodes[lo:hi] {
+			if n.Kind != world.Sensor {
+				continue
+			}
+			if c := s.sensorCell[n.ID]; c != nil {
+				if _, overlay := c.kidOfNode[n.ID]; overlay {
+					continue
+				}
+			}
+			// Position reads are node-exclusive here: overlay sensors were
+			// skipped above and every other node appears in exactly one range.
+			pos := s.w.Position(n.ID)
+			if s.homeValid[n.ID] && s.homePos[n.ID] == pos {
+				continue
+			}
+			s.homePos[n.ID] = pos
+			s.homeValid[n.ID] = true
+			owner := int32(-1)
+			if ti := cur.Containing(pos); ti >= 0 {
+				owner = int32(ti)
+			} else if ti := cur.NearestWithin(pos, s.cfg.CellMargin); ti >= 0 {
+				owner = int32(ti)
+			}
+			if int(owner) < 0 && s.sensorCell[n.ID] == nil {
+				continue // no cell before, none now: nothing to merge
+			}
+			if owner >= 0 && s.cells[owner] == s.sensorCell[n.ID] {
+				continue
+			}
+			out = append(out, rehome{id: n.ID, owner: owner})
+		}
+		p.rehomes[worker] = out
+	})
+	// Merge in NodeID order (workers hold contiguous ascending ranges).
+	for w := 0; w < p.workers; w++ {
+		for _, r := range p.rehomes[w] {
+			s.stats.Rehomes++
+			if cur := s.sensorCell[r.id]; cur != nil {
+				delete(cur.members, r.id)
+				delete(s.sensorCell, r.id)
+			}
+			if r.owner >= 0 {
+				owner := s.cells[r.owner]
+				owner.members[r.id] = true
+				s.sensorCell[r.id] = owner
+			}
+		}
+		s.shardChecks += p.cursors[w].TakeChecks()
+	}
+}
+
+// precomputeCell computes cell ci's candidate pool and the pure geometric
+// half of every overlay member's degradation check into the plan's scratch.
+// Pure reads only: member and KID maps are not mutated until the merge, and
+// each overlay sensor belongs to exactly one cell, so its position read is
+// exclusive to this cell's worker (actuator corners are never position-read).
+func (s *System) precomputeCell(p *shardPlan, ci int) {
+	c := s.cells[ci]
+	// The pool replicates candidatePool: alive, unassigned members sorted by
+	// ID. Map iteration order varies, the insertion-sorted result does not.
+	pool := p.pool[ci][:0]
+	for id := range c.members {
+		if _, taken := c.kidOfNode[id]; taken {
+			continue
+		}
+		if !s.w.Node(id).Alive() {
+			continue
+		}
+		pool = append(pool, id)
+		for j := len(pool) - 1; j > 0 && pool[j] < pool[j-1]; j-- {
+			pool[j], pool[j-1] = pool[j-1], pool[j]
+		}
+	}
+	p.pool[ci] = pool
+
+	kids := c.sortedKIDs() // cache build is exclusive: one worker per cell
+	geoOK := p.geoOK[ci][:0]
+	for _, kid := range kids {
+		ok := true
+		if !c.IsActuatorKID(kid) {
+			ok = c.contains(s.w.Position(c.NodeByKID[kid]), s.cfg.CellMargin)
+		}
+		geoOK = append(geoOK, ok)
+	}
+	p.geoOK[ci] = geoOK
+}
+
+// mergeCells is the sequential per-cell maintenance loop consuming the
+// phase-2 precompute. Containment bits are pure functions of positions
+// frozen for the round, so they are always valid; candidate pools are valid
+// only while no liveness transition has occurred since the snapshot — a
+// Broadcast or handover charge in an earlier cell's turn can deplete a node,
+// exactly as the sequential interleaving would observe — so each cell
+// re-checks the generation and falls back to the live scan when it moved.
+func (s *System) mergeCells(p *shardPlan, aliveGen uint64) {
+	for ci, c := range s.cells {
+		pool := p.pool[ci]
+		if s.w.AliveGen() != aliveGen {
+			pool = s.candidatePool(c)
+		}
+		if len(pool) > 0 {
+			prober := pool[s.w.Rand().Intn(len(pool))]
+			s.w.Broadcast(prober, energy.Communication, nil)
+		}
+		for ki, kid := range c.sortedKIDs() {
+			id := c.NodeByKID[kid]
+			if c.IsActuatorKID(kid) {
+				continue
+			}
+			// degraded(), split: the liveness and battery terms re-read live
+			// state (same-round charges must be observed, as sequentially);
+			// the geometric term comes from the precompute.
+			n := s.w.Node(id)
+			deg := !n.Alive() || n.Meter.Fraction() < lowBatteryFraction || !p.geoOK[ci][ki]
+			if !deg {
+				delete(s.degradedAt, id)
+				continue
+			}
+			since, seen := s.degradedAt[id]
+			if !seen {
+				s.degradedAt[id] = s.w.Now()
+				continue
+			}
+			if s.w.Now()-since < s.cfg.ProbeInterval {
+				continue
+			}
+			delete(s.degradedAt, id)
+			s.replace(c, kid, id)
+		}
+	}
+}

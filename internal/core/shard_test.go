@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"refer/internal/scenario"
+	"refer/internal/world"
+)
+
+// Equivalence suite for the sharded maintenance path (shard.go): REFER with
+// RunParallelism > 1 must be state-identical to the sequential path on the
+// same seeded world, through construction, mobility, maintenance and churn —
+// including the RNG stream, energy charges, and every stats counter except
+// the shard bookkeeping itself (ShardRounds and the phase timers, which by
+// construction only the sharded system accumulates).
+
+// buildShardPair builds a sequential and a sharded system on two identically
+// seeded worlds.
+func buildShardPair(t *testing.T, p scenario.Params, workers int) (ws, wp *world.World, seq, par *System) {
+	t.Helper()
+	ws, wp = scenario.Build(p), scenario.Build(p)
+	cfgSeq := DefaultConfig()
+	cfgSeq.DisableMaintenance = true // rounds driven manually below
+	cfgPar := cfgSeq
+	cfgPar.RunParallelism = workers
+	seq, par = New(ws, cfgSeq), New(wp, cfgPar)
+	if err := seq.Build(); err != nil {
+		t.Fatalf("sequential Build: %v", err)
+	}
+	if err := par.Build(); err != nil {
+		t.Fatalf("sharded Build: %v", err)
+	}
+	return ws, wp, seq, par
+}
+
+// requireShardStateEqual compares all membership and overlay state plus the
+// stats, zeroing only the shard-bookkeeping fields that are sharded-only by
+// definition. MaintainChecks is NOT zeroed: the shard cursors must count
+// exactly the work the sequential index counts.
+func requireShardStateEqual(t *testing.T, seq, par *System) {
+	t.Helper()
+	if len(seq.cells) != len(par.cells) {
+		t.Fatalf("cells: %d vs %d", len(seq.cells), len(par.cells))
+	}
+	for i, cs := range seq.cells {
+		cp := par.cells[i]
+		if len(cs.NodeByKID) != len(cp.NodeByKID) {
+			t.Fatalf("cell %d overlay size %d vs %d", i, len(cs.NodeByKID), len(cp.NodeByKID))
+		}
+		for kid, id := range cs.NodeByKID {
+			if cp.NodeByKID[kid] != id {
+				t.Fatalf("cell %d KID %s: node %d vs %d", i, kid, id, cp.NodeByKID[kid])
+			}
+		}
+		if len(cs.members) != len(cp.members) {
+			t.Fatalf("cell %d members %d vs %d", i, len(cs.members), len(cp.members))
+		}
+		for id := range cs.members {
+			if !cp.members[id] {
+				t.Fatalf("cell %d member %d missing from sharded system", i, id)
+			}
+		}
+	}
+	if len(seq.sensorCell) != len(par.sensorCell) {
+		t.Fatalf("sensorCell size %d vs %d", len(seq.sensorCell), len(par.sensorCell))
+	}
+	for id, cs := range seq.sensorCell {
+		cp, ok := par.sensorCell[id]
+		if !ok || cs.CID != cp.CID {
+			t.Fatalf("sensor %d homed to CID %d, sharded disagrees (%v)", id, cs.CID, cp)
+		}
+	}
+	if len(seq.degradedAt) != len(par.degradedAt) {
+		t.Fatalf("degradedAt size %d vs %d", len(seq.degradedAt), len(par.degradedAt))
+	}
+	for id, at := range seq.degradedAt {
+		if par.degradedAt[id] != at {
+			t.Fatalf("degradedAt[%d]: %v vs %v", id, at, par.degradedAt[id])
+		}
+	}
+	stS, stP := seq.Stats(), par.Stats()
+	stP.ShardRounds = 0
+	stP.MembershipPhaseNs, stP.CellPhaseNs, stP.MergeNs = 0, 0, 0
+	if stS != stP {
+		t.Fatalf("stats diverged:\nsequential: %+v\nsharded:    %+v", stS, stP)
+	}
+}
+
+// requireSameEnergy compares every node's remaining battery bit for bit —
+// the strongest observable of "same charges in the same order".
+func requireSameEnergy(t *testing.T, ws, wp *world.World) {
+	t.Helper()
+	for _, n := range ws.Nodes() {
+		fs := ws.Node(n.ID).Meter.Fraction()
+		fp := wp.Node(n.ID).Meter.Fraction()
+		if fs != fp {
+			t.Fatalf("node %d battery %v vs %v", n.ID, fs, fp)
+		}
+	}
+}
+
+func TestMaintainShardEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		p       scenario.Params
+		workers int
+	}{
+		{"paper-4cell-w4", scenario.Params{Seed: 3, Sensors: 250, MaxSpeed: 2}, 4},
+		{"lattice-18cell-w4", scenario.Params{Seed: 5, Sensors: 900, MaxSpeed: 2, ActuatorGrid: 4}, 4},
+		{"lattice-18cell-w8", scenario.Params{Seed: 5, Sensors: 900, MaxSpeed: 2, ActuatorGrid: 4}, 8},
+		{"static-w4", scenario.Params{Seed: 7, Sensors: 250}, 4},
+		{"oversubscribed-w64", scenario.Params{Seed: 9, Sensors: 400, MaxSpeed: 1}, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ws, wp, seq, par := buildShardPair(t, tc.p, tc.workers)
+			requireShardStateEqual(t, seq, par)
+			sensors := scenario.SensorIDs(ws)
+			for round := 0; round < 12; round++ {
+				step(t, ws, wp, 5*time.Second)
+				// Churn: fail a rotating slice of sensors, recover the
+				// previous slice — identical on both worlds. Depletion-driven
+				// aliveGen bumps mid-merge come from the Broadcast/Send
+				// charges themselves.
+				lo := (round * 13) % len(sensors)
+				for i := lo; i < lo+9 && i < len(sensors); i++ {
+					ws.SetFailed(sensors[i], round%2 == 0)
+					wp.SetFailed(sensors[i], round%2 == 0)
+				}
+				seq.MaintainOnce()
+				par.MaintainOnce()
+				requireShardStateEqual(t, seq, par)
+				requireSameEnergy(t, ws, wp)
+			}
+			if got := par.Stats().ShardRounds; got != 12 {
+				t.Fatalf("ShardRounds = %d, want 12", got)
+			}
+		})
+	}
+}
+
+// TestMaintainShardEquivalenceLinearScan pins the DisableCellIndex fallback:
+// with no index there are no concurrent-safe cursors, so the sharded system
+// must route membership through the sequential linear scan and still match.
+func TestMaintainShardEquivalenceLinearScan(t *testing.T) {
+	p := scenario.Params{Seed: 11, Sensors: 300, MaxSpeed: 2}
+	ws, wp := scenario.Build(p), scenario.Build(p)
+	cfgSeq := DefaultConfig()
+	cfgSeq.DisableMaintenance = true
+	cfgSeq.DisableCellIndex = true
+	cfgPar := cfgSeq
+	cfgPar.RunParallelism = 4
+	seq, par := New(ws, cfgSeq), New(wp, cfgPar)
+	if err := seq.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Build(); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		step(t, ws, wp, 5*time.Second)
+		seq.MaintainOnce()
+		par.MaintainOnce()
+		requireShardStateEqual(t, seq, par)
+		requireSameEnergy(t, ws, wp)
+	}
+}
+
+// TestSetRunParallelismMidRun flips the shard count between rounds — the
+// plan must rebuild and the trajectory must stay on the sequential one.
+func TestSetRunParallelismMidRun(t *testing.T) {
+	p := scenario.Params{Seed: 13, Sensors: 400, MaxSpeed: 2}
+	ws, wp, seq, par := buildShardPair(t, p, 2)
+	for round := 0; round < 9; round++ {
+		step(t, ws, wp, 5*time.Second)
+		par.SetRunParallelism([]int{2, 0, 8}[round%3])
+		seq.MaintainOnce()
+		par.MaintainOnce()
+		requireShardStateEqual(t, seq, par)
+		requireSameEnergy(t, ws, wp)
+	}
+	if par.Stats().ShardRounds != 6 { // the 0-parallelism rounds ran sequentially
+		t.Fatalf("ShardRounds = %d, want 6", par.Stats().ShardRounds)
+	}
+}
+
+// TestMaintainShardedAllocs pins the steady-state sharded round's allocation
+// budget. The scratch (plan, cursors, rehome and pool buffers, pprof label
+// contexts) is all reused; what remains is spawning the phase goroutines
+// themselves, so the budget is a small per-round constant instead of the
+// sequential path's zero — and must not scale with sensors or rounds.
+func TestMaintainShardedAllocs(t *testing.T) {
+	w := scenario.Build(scenario.Params{Seed: 1, Sensors: 300})
+	cfg := DefaultConfig()
+	cfg.DisableMaintenance = true
+	cfg.RunParallelism = 4
+	s := New(w, cfg)
+	if err := s.Build(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range w.Nodes() {
+		w.AliveNeighbors(nil, n.ID)
+	}
+	for i := 0; i < 4; i++ {
+		s.MaintainOnce() // warm plan, KID and pool caches
+	}
+	// 2 fan-outs × 4 workers ≈ 8 goroutine spawns plus waitgroup/closure
+	// overhead; 24 leaves headroom without masking a per-sensor regression.
+	if avg := testing.AllocsPerRun(50, s.MaintainOnce); avg > 24 {
+		t.Fatalf("sharded MaintainOnce allocates %.1f per round, want <= 24", avg)
+	}
+}

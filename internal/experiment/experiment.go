@@ -173,6 +173,14 @@ type RunConfig struct {
 	// pre-existing ConfigKeys are unchanged. Ignored when
 	// Scenario.Energy carries an explicit model.
 	Energy energy.Spec
+	// RunParallelism shards the per-round bulk maintenance phases of a
+	// single REFER run across this many worker goroutines
+	// (core.Config.RunParallelism); 0 or 1 keeps the sequential path and
+	// non-REFER systems ignore it. Results are byte-identical at every
+	// setting, so — exactly like the sweep-level Options.Parallelism — the
+	// knob is excluded from ConfigKey. Values outside [0, MaxParallelism]
+	// are a config error.
+	RunParallelism int
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -295,14 +303,31 @@ type RunStats struct {
 	// variants should strip it alongside the wall-clock fields.
 	MaintainChecks int `json:"maintain_checks"`
 	Rehomes        int `json:"rehomes"`
+	// ShardRounds counts maintenance rounds that ran the sharded path
+	// (RunConfig.RunParallelism > 1; zero for sequential or non-REFER runs),
+	// and the three phase timers accumulate host nanoseconds per sharded
+	// phase: parallel membership re-homing, parallel per-cell precompute,
+	// serial deterministic merge. The timers are host-execution detail like
+	// WallClock, and ShardRounds intentionally differs across RunParallelism
+	// settings of the same config, so StripWallClock zeroes all four —
+	// replay comparisons across shard counts stay bitwise.
+	ShardRounds       int   `json:"shard_rounds"`
+	MembershipPhaseNs int64 `json:"membership_phase_ns"`
+	CellPhaseNs       int64 `json:"cell_phase_ns"`
+	MergeNs           int64 `json:"merge_ns"`
 }
 
-// StripWallClock returns the stats with the host-timing fields zeroed —
-// everything left is a deterministic function of the RunConfig, so replay
-// tests can compare Results for bitwise equality.
+// StripWallClock returns the stats with the host-timing and host-execution
+// fields zeroed — everything left is a deterministic function of the
+// RunConfig (independent even of RunParallelism), so replay tests can
+// compare Results for bitwise equality.
 func (s RunStats) StripWallClock() RunStats {
 	s.WallClock = 0
 	s.EventsPerSec = 0
+	s.ShardRounds = 0
+	s.MembershipPhaseNs = 0
+	s.CellPhaseNs = 0
+	s.MergeNs = 0
 	return s
 }
 
@@ -315,6 +340,22 @@ func Run(cfg RunConfig) (Result, error) {
 // checks. Large enough that the per-batch overhead is noise, small enough
 // that cancellation lands within microseconds of host time.
 const desBatch = 8192
+
+// MaxParallelism bounds every parallelism knob (Options.Parallelism,
+// Options.RunParallelism, RunConfig.RunParallelism and the simd wire
+// fields): values above it are configuration mistakes, not machines, and
+// are rejected at the edge instead of silently spawning that many
+// goroutines or falling back to GOMAXPROCS.
+const MaxParallelism = 1024
+
+// validParallelism rejects out-of-range parallelism knob values with a
+// uniform error naming the offending knob.
+func validParallelism(name string, v int) error {
+	if v < 0 || v > MaxParallelism {
+		return fmt.Errorf("experiment: %s must be in [0, %d], got %d", name, MaxParallelism, v)
+	}
+	return nil
+}
 
 // RunContext is Run with cancellation: the DES drive loop executes events
 // in batches and checks ctx between batches, so a cancelled or expired
@@ -355,6 +396,9 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	if err := validParallelism("RunConfig.RunParallelism", cfg.RunParallelism); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	cfg = cfg.withDefaults()
 	model, err := cfg.Energy.Build()
@@ -372,6 +416,9 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 	sys, err := NewSystem(cfg.System, w)
 	if err != nil {
 		return Result{}, err
+	}
+	if cs, ok := sys.(*core.System); ok {
+		cs.SetRunParallelism(cfg.RunParallelism)
 	}
 	if err := sys.Build(); err != nil {
 		return Result{}, fmt.Errorf("experiment: building %s: %w", cfg.System, err)
@@ -515,6 +562,10 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 		stats.FailoverSwitches = st.FailoverSwitches
 		stats.MaintainChecks = st.MaintainChecks
 		stats.Rehomes = st.Rehomes
+		stats.ShardRounds = st.ShardRounds
+		stats.MembershipPhaseNs = st.MembershipPhaseNs
+		stats.CellPhaseNs = st.CellPhaseNs
+		stats.MergeNs = st.MergeNs
 	case *kautzoverlay.System:
 		st := impl.Stats()
 		stats.RouteTableHits = st.RouteCacheHits

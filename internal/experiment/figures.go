@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -33,7 +34,16 @@ type Options struct {
 	// PacketsPerSource overrides the burst size when non-zero.
 	PacketsPerSource int
 	// Parallelism bounds concurrent simulation runs (0 = GOMAXPROCS).
+	// Values outside [0, MaxParallelism] are a config error.
 	Parallelism int
+	// RunParallelism shards the bulk maintenance phases inside each REFER
+	// run across this many worker goroutines (RunConfig.RunParallelism).
+	// Orthogonal to Parallelism: one saturates cores across runs, the other
+	// within a run — the latter is what lets a single giant run use the
+	// machine. Results are byte-identical at every setting, so the knob is
+	// excluded from OptionsKey exactly like Parallelism. Values outside
+	// [0, MaxParallelism] are a config error.
+	RunParallelism int
 	// Progress, when non-nil, receives one event after every completed
 	// simulation run of a sweep. Calls are serialized (never concurrent)
 	// and delivered in completion order on a dedicated goroutine, so a
@@ -115,6 +125,14 @@ type SweepStats struct {
 	// Chaos sums the runs' applied-fault counters; zero unless a schedule
 	// was attached.
 	Chaos chaos.Stats `json:"chaos"`
+	// ShardRounds sums the runs' sharded maintenance rounds and the three
+	// phase timers their cumulative host nanoseconds (zero unless
+	// RunParallelism > 1). Host-execution detail like the wall-clock pair:
+	// cached-figure comparisons zero them alongside WallClock.
+	ShardRounds       uint64 `json:"shard_rounds"`
+	MembershipPhaseNs int64  `json:"membership_phase_ns"`
+	CellPhaseNs       int64  `json:"cell_phase_ns"`
+	MergeNs           int64  `json:"merge_ns"`
 }
 
 // accumulate folds one run's stats into the sweep totals.
@@ -127,6 +145,10 @@ func (s *SweepStats) accumulate(r RunStats) {
 	s.FailoverSwitches += uint64(r.FailoverSwitches)
 	s.Trace.Add(r.Trace)
 	s.Chaos.Add(r.Chaos)
+	s.ShardRounds += uint64(r.ShardRounds)
+	s.MembershipPhaseNs += r.MembershipPhaseNs
+	s.CellPhaseNs += r.CellPhaseNs
+	s.MergeNs += r.MergeNs
 }
 
 // finish stamps the end-to-end timing fields.
@@ -254,6 +276,12 @@ var sweepRun = RunContext
 // jobs from being scheduled, and every run error — each wrapped with the
 // failing run's system, seed and x — is aggregated with errors.Join.
 func sweep(ctx context.Context, o Options, xs []float64, configure func(x float64, seed int64) RunConfig, pick func(Result) float64) (Figure, error) {
+	if err := validParallelism("Options.Parallelism", o.Parallelism); err != nil {
+		return Figure{}, err
+	}
+	if err := validParallelism("Options.RunParallelism", o.RunParallelism); err != nil {
+		return Figure{}, err
+	}
 	o = o.withDefaults()
 	type cell struct {
 		sys string
@@ -284,6 +312,9 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 				}
 				if cfg.Energy.IsZero() {
 					cfg.Energy = o.Energy
+				}
+				if cfg.RunParallelism == 0 {
+					cfg.RunParallelism = o.RunParallelism
 				}
 				jobs = append(jobs, job{cfg: cfg, cell: cell{sys: sys, x: xi}, x: x})
 			}
@@ -331,7 +362,18 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 			if o.TraceSample > 0 {
 				cfg.Trace = trace.NewRecorder(o.TraceSample)
 			}
-			res, err := sweepRun(ctx, cfg)
+			var res Result
+			var err error
+			// The figure label attributes this worker's CPU samples to the
+			// sweep it serves ("sweep" for direct callers outside the
+			// registry); the in-run shard workers add cell-shard on top.
+			figLabel := o.figureID
+			if figLabel == "" {
+				figLabel = "sweep"
+			}
+			pprof.Do(ctx, pprof.Labels("figure", figLabel), func(ctx context.Context) {
+				res, err = sweepRun(ctx, cfg)
+			})
 			mu.Lock()
 			done++
 			if err != nil {

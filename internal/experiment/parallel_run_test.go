@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"refer/internal/scenario"
+)
+
+// TestRunParallelismInvariance pins the intra-run sharding contract
+// (shard.go): a run is byte-identical — Result, energy ledgers, every
+// deterministic RunStats counter — at every RunParallelism setting. Only
+// StripWallClock's host fields (wall clock plus the shard bookkeeping) may
+// differ. Run under -race -count=2 by CI's determinism job.
+func TestRunParallelismInvariance(t *testing.T) {
+	base := RunConfig{
+		Scenario: scenario.Params{Seed: 3, Sensors: 300, MaxSpeed: 2},
+		Warmup:   2 * time.Second,
+		Duration: 8 * time.Second,
+	}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStats := ref.Stats.StripWallClock()
+	ref.Stats = RunStats{}
+	for _, rp := range []int{1, 4, 8} {
+		cfg := base
+		cfg.RunParallelism = rp
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("RunParallelism %d: %v", rp, err)
+		}
+		if rp > 1 && res.Stats.ShardRounds == 0 {
+			t.Fatalf("RunParallelism %d: sharded path never ran", rp)
+		}
+		gotStats := res.Stats.StripWallClock()
+		res.Stats = RunStats{}
+		if res != ref {
+			t.Fatalf("RunParallelism %d: Result diverged:\n%+v\nvs sequential\n%+v", rp, res, ref)
+		}
+		if gotStats != refStats {
+			t.Fatalf("RunParallelism %d: stats diverged:\n%+v\nvs sequential\n%+v", rp, gotStats, refStats)
+		}
+	}
+}
+
+// TestRunParallelismFigureInvariance pins figure-level byte identity: a
+// representative paper figure and a shrunken growth point produce identical
+// CSVs whether runs shard or not.
+func TestRunParallelismFigureInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are not -short tests")
+	}
+	base := Options{
+		Seeds:            []int64{1, 2},
+		Warmup:           2 * time.Second,
+		Duration:         5 * time.Second,
+		Sensors:          140,
+		PacketsPerSource: 2,
+	}
+	for _, id := range []string{"4", "S1"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := FigureByID(id)
+			if !ok {
+				t.Fatalf("unknown figure %q", id)
+			}
+			seq, par := base, base
+			if id == "S1" { // shrink the growth grid to test scale
+				seq.Sensors, par.Sensors = 0, 0
+				seq.Seeds, par.Seeds = []int64{1}, []int64{1}
+			}
+			seq.RunParallelism = 1
+			par.RunParallelism = 4
+			f1, err := spec.Build(context.Background(), seq)
+			if err != nil {
+				t.Fatalf("run-parallelism 1: %v", err)
+			}
+			f4, err := spec.Build(context.Background(), par)
+			if err != nil {
+				t.Fatalf("run-parallelism 4: %v", err)
+			}
+			if f1.CSV() != f4.CSV() {
+				t.Errorf("figure %s CSV differs between run-parallelism 1 and 4:\n%s\nvs\n%s",
+					id, f1.CSV(), f4.CSV())
+			}
+		})
+	}
+}
+
+// TestParallelismValidation pins the edge validation: out-of-range
+// parallelism knobs are config errors, not silent GOMAXPROCS fallbacks.
+func TestParallelismValidation(t *testing.T) {
+	quick := Options{Seeds: []int64{1}, Warmup: time.Second, Duration: time.Second,
+		Sensors: 120, Systems: []string{SystemREFER}}
+
+	for _, tc := range []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"negative-parallelism", func() Options { o := quick; o.Parallelism = -1; return o }(), "Options.Parallelism"},
+		{"absurd-parallelism", func() Options { o := quick; o.Parallelism = MaxParallelism + 1; return o }(), "Options.Parallelism"},
+		{"negative-run-parallelism", func() Options { o := quick; o.RunParallelism = -3; return o }(), "Options.RunParallelism"},
+		{"absurd-run-parallelism", func() Options { o := quick; o.RunParallelism = 1 << 20; return o }(), "Options.RunParallelism"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Fig4(tc.o)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %s", err, tc.want)
+			}
+		})
+	}
+
+	for _, tc := range []struct {
+		name string
+		rp   int
+	}{
+		{"negative", -1},
+		{"absurd", MaxParallelism + 1},
+	} {
+		t.Run("run-config-"+tc.name, func(t *testing.T) {
+			_, err := Run(RunConfig{RunParallelism: tc.rp,
+				Warmup: time.Second, Duration: time.Second})
+			if err == nil || !strings.Contains(err.Error(), "RunConfig.RunParallelism") {
+				t.Fatalf("err = %v, want RunConfig.RunParallelism range error", err)
+			}
+		})
+	}
+
+	// In-range values at the boundary are accepted.
+	if err := validParallelism("x", MaxParallelism); err != nil {
+		t.Fatalf("MaxParallelism rejected: %v", err)
+	}
+	if err := validParallelism("x", 0); err != nil {
+		t.Fatalf("0 rejected: %v", err)
+	}
+}
+
+// TestConfigKeyExcludesRunParallelism pins the cache contract: sharded and
+// sequential submissions of one config content-address identically.
+func TestConfigKeyExcludesRunParallelism(t *testing.T) {
+	base := RunConfig{Warmup: time.Second, Duration: time.Second}
+	k0, err := ConfigKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard := base
+	shard.RunParallelism = 8
+	k8, err := ConfigKey(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 != k8 {
+		t.Fatalf("ConfigKey differs across RunParallelism: %s vs %s", k0, k8)
+	}
+}

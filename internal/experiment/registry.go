@@ -111,6 +111,7 @@ var registry = []FigureSpec{
 	newSpec("S1", "Scale: delivery ratio vs network growth", KindScale, growthDelivery),
 	newSpec("S2", "Scale: transmission delay vs network growth", KindScale, growthDelay),
 	newSpec("S3", "Scale: membership-maintenance cost vs network growth", KindScale, growthMaintainCost),
+	newSpec("S4", "Scale: delivery ratio at the 100k-sensor frontier (sharded runs)", KindScale, frontierDelivery),
 }
 
 // newSpec wraps a builder so the spec's ID labels progress events and the

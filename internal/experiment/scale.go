@@ -20,6 +20,12 @@ import (
 // growthXs are the growth-study network sizes (sensor population).
 var growthXs = []float64{1000, 2000, 5000, 10000}
 
+// frontierXs extend the growth study toward the 100,000-sensor frontier that
+// intra-run sharding (RunConfig.RunParallelism) makes tractable: a run this
+// size is one giant single-seed simulation, so sweep-level parallelism can
+// no longer soak the machine and the per-round shards have to.
+var frontierXs = []float64{20000, 50000, 100000}
+
 // gridFor returns the actuator lattice side n for a sensor population,
 // keeping the density near the paper's 200 sensors / 4 cells: n×n actuators
 // triangulate into 2(n-1)² cells, so sensors-per-cell stays around 50.
@@ -57,6 +63,41 @@ func growthSweep(ctx context.Context, o Options, pick func(Result) float64) (Fig
 	return fig, err
 }
 
+// frontierSweep runs the S4 grid: REFER alone (the linear-scan ablation is
+// quadratic in this regime and the two arms were already shown identical on
+// S1/S2) over frontier-scale deployments, maintenance sharded across the
+// machine unless the caller pinned a RunParallelism.
+func frontierSweep(ctx context.Context, o Options, pick func(Result) float64) (Figure, error) {
+	if len(o.Systems) == 0 {
+		o.Systems = []string{SystemREFER}
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1} // one seed: points are single giant runs
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 20 * time.Second
+	}
+	if o.Duration == 0 {
+		o.Duration = 60 * time.Second
+	}
+	if o.RunParallelism == 0 {
+		o.RunParallelism = defaultParallelism()
+	}
+	o = o.withDefaults()
+	fig, err := sweep(ctx, o, frontierXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{
+			Scenario: scenario.Params{
+				Seed:         seed,
+				Sensors:      int(x),
+				MaxSpeed:     1,
+				ActuatorGrid: gridFor(x),
+			},
+		}
+	}, pick)
+	fig.XLabel = "sensors"
+	return fig, err
+}
+
 // FigS1 builds the growth-study delivery-ratio figure.
 func FigS1(o Options) (Figure, error) { return buildByID(context.Background(), "S1", o) }
 
@@ -65,6 +106,9 @@ func FigS2(o Options) (Figure, error) { return buildByID(context.Background(), "
 
 // FigS3 builds the growth-study maintenance-cost figure.
 func FigS3(o Options) (Figure, error) { return buildByID(context.Background(), "S3", o) }
+
+// FigS4 builds the growth-frontier delivery figure (20k–100k sensors).
+func FigS4(o Options) (Figure, error) { return buildByID(context.Background(), "S4", o) }
 
 func growthDelivery(ctx context.Context, o Options) (Figure, error) {
 	fig, err := growthSweep(ctx, o, func(r Result) float64 {
@@ -86,5 +130,16 @@ func growthDelay(ctx context.Context, o Options) (Figure, error) {
 func growthMaintainCost(ctx context.Context, o Options) (Figure, error) {
 	fig, err := growthSweep(ctx, o, func(r Result) float64 { return float64(r.Stats.MaintainChecks) })
 	fig.YLabel = "cell predicate evaluations"
+	return fig, err
+}
+
+func frontierDelivery(ctx context.Context, o Options) (Figure, error) {
+	fig, err := frontierSweep(ctx, o, func(r Result) float64 {
+		if r.Created == 0 {
+			return 0
+		}
+		return float64(r.Delivered) / float64(r.Created)
+	})
+	fig.YLabel = "delivery ratio"
 	return fig, err
 }

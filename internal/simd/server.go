@@ -157,6 +157,13 @@ type Server struct {
 	misses    atomic.Uint64
 	desEvents atomic.Uint64
 	busyNanos atomic.Int64
+	// Shard counters accumulated from every executed run before result
+	// stripping (StripWallClock zeroes them in the stored/cached stats, so
+	// the /metrics endpoint is the only place the server-side totals live).
+	shardRounds       atomic.Uint64
+	shardMembershipNs atomic.Int64
+	shardCellNs       atomic.Int64
+	shardMergeNs      atomic.Int64
 
 	// runSingle executes one simulation; indirected so tests can install
 	// deterministic blocking or failing runs.
@@ -492,14 +499,29 @@ func (s *Server) execute(r *run) {
 	r.mu.Unlock()
 	switch {
 	case err == nil && r.kind == KindRun:
+		// Fold the shard counters into /metrics before stripping: the strip
+		// zeroes them (host-execution detail, and they differ across
+		// run_parallelism settings of one cache key).
+		s.shardRounds.Add(uint64(res.Stats.ShardRounds))
+		s.shardMembershipNs.Add(res.Stats.MembershipPhaseNs)
+		s.shardCellNs.Add(res.Stats.CellPhaseNs)
+		s.shardMergeNs.Add(res.Stats.MergeNs)
 		// Strip host timing so the cached bytes equal any replay's bytes.
 		res.Stats = res.Stats.StripWallClock()
 		s.desEvents.Add(res.Stats.DESEvents)
 		s.finish(r, StateDone, &res, nil, nil)
 	case err == nil:
+		s.shardRounds.Add(fig.Stats.ShardRounds)
+		s.shardMembershipNs.Add(fig.Stats.MembershipPhaseNs)
+		s.shardCellNs.Add(fig.Stats.CellPhaseNs)
+		s.shardMergeNs.Add(fig.Stats.MergeNs)
 		fig.Stats.WallClock = 0
 		fig.Stats.RunWallClock = 0
 		fig.Stats.EventsPerSec = 0
+		fig.Stats.ShardRounds = 0
+		fig.Stats.MembershipPhaseNs = 0
+		fig.Stats.CellPhaseNs = 0
+		fig.Stats.MergeNs = 0
 		s.desEvents.Add(fig.Stats.DESEvents)
 		s.finish(r, StateDone, nil, &fig, nil)
 	case cancelled || errors.Is(err, context.Canceled):
@@ -887,6 +909,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 		CacheMisses:   s.misses.Load(),
 		DESEvents:     s.desEvents.Load(),
 		RunsTracked:   tracked,
+
+		ShardRounds:            s.shardRounds.Load(),
+		ShardMembershipPhaseNs: s.shardMembershipNs.Load(),
+		ShardCellPhaseNs:       s.shardCellNs.Load(),
+		ShardMergeNs:           s.shardMergeNs.Load(),
 	}
 	if total := m.CacheHits + m.CacheMisses; total > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(total)

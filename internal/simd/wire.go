@@ -56,6 +56,12 @@ type RunRequest struct {
 	// RunConfig.Energy; see EXPERIMENTS.md). Absent keeps the paper's flat
 	// constants and the run's cache key unchanged.
 	Energy *energy.Spec `json:"energy,omitempty"`
+	// RunParallelism shards the run's bulk maintenance phases across this
+	// many worker goroutines (RunConfig.RunParallelism). Results are
+	// byte-identical at any setting, so the field is excluded from the
+	// cache key — a latency knob, not a result knob. Must lie in
+	// [0, MaxParallelism].
+	RunParallelism int `json:"run_parallelism,omitempty"`
 }
 
 // secs converts a seconds field, rejecting negatives.
@@ -82,6 +88,10 @@ func (r RunRequest) Config() (experiment.RunConfig, error) {
 	if r.SensorBatteryJ < 0 {
 		return experiment.RunConfig{}, fmt.Errorf("sensor_battery_j must be >= 0, got %g", r.SensorBatteryJ)
 	}
+	if r.RunParallelism < 0 || r.RunParallelism > experiment.MaxParallelism {
+		return experiment.RunConfig{}, fmt.Errorf("run_parallelism must be in [0, %d], got %d",
+			experiment.MaxParallelism, r.RunParallelism)
+	}
 	cfg := experiment.RunConfig{
 		System: r.System,
 		Scenario: scenario.Params{
@@ -99,6 +109,7 @@ func (r RunRequest) Config() (experiment.RunConfig, error) {
 		Sources:          r.Sources,
 		PacketsPerSource: r.PacketsPerSource,
 		FaultCount:       r.FaultCount,
+		RunParallelism:   r.RunParallelism,
 	}
 	var err error
 	if cfg.Warmup, err = secs("warmup_s", r.WarmupS); err != nil {
@@ -147,8 +158,13 @@ type FigureRequest struct {
 	// Parallelism bounds the sweep's concurrent runs; zero uses the
 	// server's figure-parallelism setting. Figure output is byte-identical
 	// at any worker count, so this is a latency knob, not a result knob.
-	Parallelism int             `json:"parallelism,omitempty"`
-	Chaos       *chaos.Schedule `json:"chaos,omitempty"`
+	Parallelism int `json:"parallelism,omitempty"`
+	// RunParallelism shards the bulk maintenance phases inside each run of
+	// the sweep (Options.RunParallelism). Byte-identical output at any
+	// setting; excluded from the cache key like Parallelism. Must lie in
+	// [0, MaxParallelism].
+	RunParallelism int             `json:"run_parallelism,omitempty"`
+	Chaos          *chaos.Schedule `json:"chaos,omitempty"`
 	// Energy optionally prices every run of the sweep with a cost model
 	// (same schema as RunConfig.Energy; see EXPERIMENTS.md).
 	Energy *energy.Spec `json:"energy,omitempty"`
@@ -165,12 +181,21 @@ func (r FigureRequest) Options() (experiment.Options, error) {
 	if r.Sensors < 0 || r.PacketsPerSource < 0 || r.Parallelism < 0 {
 		return experiment.Options{}, fmt.Errorf("counts must be >= 0")
 	}
+	if r.Parallelism > experiment.MaxParallelism {
+		return experiment.Options{}, fmt.Errorf("parallelism must be in [0, %d], got %d",
+			experiment.MaxParallelism, r.Parallelism)
+	}
+	if r.RunParallelism < 0 || r.RunParallelism > experiment.MaxParallelism {
+		return experiment.Options{}, fmt.Errorf("run_parallelism must be in [0, %d], got %d",
+			experiment.MaxParallelism, r.RunParallelism)
+	}
 	o := experiment.Options{
 		Seeds:            r.Seeds,
 		Sensors:          r.Sensors,
 		Systems:          r.Systems,
 		PacketsPerSource: r.PacketsPerSource,
 		Parallelism:      r.Parallelism,
+		RunParallelism:   r.RunParallelism,
 	}
 	var err error
 	if o.Warmup, err = secs("warmup_s", r.WarmupS); err != nil {
@@ -271,6 +296,14 @@ type Metrics struct {
 	DESEvents       uint64  `json:"des_events"`
 	DESEventsPerSec float64 `json:"des_events_per_sec"`
 	RunsTracked     int     `json:"runs_tracked"`
+	// Shard counters, accumulated across every executed run (before result
+	// stripping): maintenance rounds that ran the sharded path and the
+	// cumulative host nanoseconds per phase. All zero unless submissions
+	// set run_parallelism > 1.
+	ShardRounds            uint64 `json:"shard_rounds"`
+	ShardMembershipPhaseNs int64  `json:"shard_membership_phase_ns"`
+	ShardCellPhaseNs       int64  `json:"shard_cell_phase_ns"`
+	ShardMergeNs           int64  `json:"shard_merge_ns"`
 	// RouteTables snapshots the process-wide shared Kautz route tables
 	// every concurrent run reads from.
 	RouteTables []RouteTableMetrics `json:"route_tables"`

@@ -242,7 +242,7 @@ const (
 func Figures() []FigureSpec { return experiment.Figures() }
 
 // FigureByID looks up a registered figure ("4"…"11", "A1"…"A3", "E1"…"E3",
-// "L1"…"L3", "S1"…"S3").
+// "L1"…"L3", "S1"…"S4").
 func FigureByID(id string) (FigureSpec, bool) { return experiment.FigureByID(id) }
 
 // Figure generators for the paper's evaluation.
@@ -260,7 +260,15 @@ var (
 	FigS1 = experiment.FigS1
 	FigS2 = experiment.FigS2
 	FigS3 = experiment.FigS3
+
+	// Growth frontier (20k–100k sensors, maintenance sharded per run).
+	FigS4 = experiment.FigS4
 )
+
+// MaxParallelism bounds both parallelism knobs (Options.Parallelism /
+// Options.RunParallelism / RunConfig.RunParallelism); out-of-range values
+// are configuration errors, never silent fallbacks.
+const MaxParallelism = experiment.MaxParallelism
 
 // AllFigures regenerates every evaluation figure.
 func AllFigures(o Options) ([]Figure, error) { return experiment.AllFigures(o) }
