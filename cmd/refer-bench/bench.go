@@ -17,17 +17,19 @@ import (
 	"refer/internal/des"
 	"refer/internal/energy"
 	"refer/internal/kautz"
+	"refer/internal/recovery"
 	"refer/internal/simd"
+	"refer/internal/world"
 )
 
 // The -bench mode is the repo's perf trajectory: a fixed micro+macro suite
 // whose results are appended to the tree as BENCH_<n>.json files, one per
 // measurement session, so optimization work leaves a comparable record
 // (schema documented in EXPERIMENTS.md). The suite is deliberately small —
-// six microbenchmarks over the simulation hot paths plus four macros (the
+// seven microbenchmarks over the simulation hot paths plus five macros (the
 // Figure 4 sweep, the network-growth study, a refer-simd serving-load storm,
-// and the sharded-maintenance shard-count sweep) — so CI can afford to run
-// it on every change.
+// the sharded-maintenance shard-count sweep, and the recovery-campaign
+// sweep) — so CI can afford to run it on every change.
 
 // benchSchema names the BENCH file layout; bump on incompatible change.
 const benchSchema = "refer-bench/1"
@@ -227,6 +229,65 @@ func benchMeterCharge() benchMicro {
 	return microResult("meter_charge", r)
 }
 
+// benchRecoverOnce measures one detect→re-elect repair cycle on the 3×3
+// recovery lattice: kill the current holder of a Kautz corner, run a grace-0
+// recovery sweep (which scans every cell, confirms the failure and promotes
+// the best surviving actuator), then revive the previous holder so the next
+// iteration ping-pongs the corner back. The number is the full cost of one
+// self-healing round — the price a deployment pays per permanent actuator
+// loss, excluding the detection wait (virtual time is free in the DES).
+func benchRecoverOnce() (benchMicro, error) {
+	w := refer.BuildWorld(refer.ScenarioParams{Seed: 1, Sensors: 400, MaxSpeed: 1, ActuatorGrid: 3})
+	sys := refer.NewREFERWithConfig(w, refer.REFERConfig{DisableMaintenance: true})
+	if err := sys.Build(); err != nil {
+		return benchMicro{}, err
+	}
+	// Find a corner actuator: kill candidates in ID order until a sweep
+	// repairs something, seeding the ping-pong with the promoted successor.
+	victim := world.NoNode
+	for _, n := range w.Nodes() {
+		if n.Kind != world.Actuator {
+			continue
+		}
+		w.SetFailed(n.ID, true)
+		actions := sys.RecoverSweep(0)
+		w.SetFailed(n.ID, false)
+		if len(actions) > 0 && actions[0].Kind == recovery.Reelect {
+			victim = actions[0].NewCorner
+			break
+		}
+	}
+	if victim == world.NoNode {
+		return benchMicro{}, fmt.Errorf("recover_once: no repairable corner on the lattice")
+	}
+	cycle := func() {
+		w.SetFailed(victim, true)
+		actions := sys.RecoverSweep(0)
+		w.SetFailed(victim, false)
+		next := world.NoNode
+		for _, a := range actions {
+			if a.Kind == recovery.Reelect {
+				next = a.NewCorner
+				break
+			}
+		}
+		if next == world.NoNode {
+			panic(fmt.Sprintf("recover_once: sweep did not re-elect after killing %d: %+v", victim, actions))
+		}
+		victim = next
+	}
+	for k := 0; k < 8; k++ {
+		cycle() // reach steady state before measuring
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			cycle()
+		}
+	})
+	return microResult("recover_once", r), nil
+}
+
 // benchFig4Quick runs the Figure 4 mobility sweep at quick scale (one seed,
 // short windows) and reports its wall time — the suite's end-to-end number.
 func benchFig4Quick(parallelism int) (benchMacro, error) {
@@ -416,6 +477,37 @@ func benchMaintainParallel() (benchMacro, error) {
 	}, nil
 }
 
+// benchRecoveryCampaign runs the R1 delivery sweep at quick scale: five
+// systems across four fault intensities of churn plus permanent actuator
+// kills, REFER's runs carrying the full detection/repair loop. The Extra
+// gauges record the self-healing work the campaign triggered (all virtual-
+// time deterministic), so the trajectory shows repair cost and repair volume
+// side by side.
+func benchRecoveryCampaign(parallelism int) (benchMacro, error) {
+	fig, err := refer.FigR1(refer.Options{
+		Seeds:       []int64{1},
+		Warmup:      100 * time.Second,
+		Duration:    300 * time.Second,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		return benchMacro{}, err
+	}
+	rec := fig.Stats.Recovery
+	return benchMacro{
+		Name:         "recovery_campaign",
+		WallSeconds:  fig.Stats.WallClock.Seconds(),
+		Runs:         fig.Stats.Runs,
+		EventsPerSec: fig.Stats.EventsPerSec,
+		Extra: map[string]float64{
+			"reelections":           float64(rec.Reelections),
+			"merges":                float64(rec.Merges),
+			"takeovers":             float64(rec.Takeovers),
+			"mean_repair_latency_s": rec.MeanLatency().Seconds(),
+		},
+	}, nil
+}
+
 // nextBenchPath returns the first unused BENCH_<n>.json name in dir.
 func nextBenchPath(dir string) string {
 	for n := 1; ; n++ {
@@ -472,6 +564,12 @@ func runBenchSuite(quiet bool, parallelism int) (string, error) {
 	report.Micro = append(report.Micro, ml)
 	progress("bench: meter_charge...\n")
 	report.Micro = append(report.Micro, benchMeterCharge())
+	progress("bench: recover_once...\n")
+	ro, err := benchRecoverOnce()
+	if err != nil {
+		return "", err
+	}
+	report.Micro = append(report.Micro, ro)
 	progress("bench: fig4_quick...\n")
 	fig4, err := benchFig4Quick(parallelism)
 	if err != nil {
@@ -496,6 +594,12 @@ func runBenchSuite(quiet bool, parallelism int) (string, error) {
 		return "", err
 	}
 	report.Macro = append(report.Macro, mp)
+	progress("bench: recovery_campaign...\n")
+	rc, err := benchRecoveryCampaign(parallelism)
+	if err != nil {
+		return "", err
+	}
+	report.Macro = append(report.Macro, rc)
 
 	path := nextBenchPath(".")
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -10,6 +10,7 @@
 //	refer-bench -trace 100      # packet tracing, sampling every 100th packet
 //	refer-bench -chaos f.json   # attach a fault-injection schedule to every run
 //	refer-bench -energy radio   # price packets with the first-order radio model
+//	refer-bench -recovery       # enable self-healing recovery on every REFER run
 //	refer-bench -parallel 4     # bound sweep concurrency (figure output is identical)
 //	refer-bench -run-parallel 4 # shard each run's maintenance rounds across cores
 //	refer-bench -bench          # fixed perf suite → BENCH_<n>.json (see EXPERIMENTS.md)
@@ -61,6 +62,7 @@ func main() {
 		traceN      = flag.Int("trace", 0, "attach packet tracing to every run, keeping every Nth packet's event stream (0 = off)")
 		chaosPath   = flag.String("chaos", "", "attach the fault-injection schedule in this JSON file to every run (see EXPERIMENTS.md)")
 		energyName  = flag.String("energy", "", "per-packet cost model for every run: paper, radio or harvesting (default: each figure's own default — paper constants, except the L* lifetime figures which default to radio)")
+		recoveryOn  = flag.Bool("recovery", false, "enable the self-healing recovery protocols (corner re-election, cell merge, CAN takeover) on every REFER run")
 		parallel    = flag.Int("parallel", 0, "concurrent simulation runs per sweep (0 = GOMAXPROCS); figure output is identical at any setting")
 		runParallel = flag.Int("run-parallel", 0, "shards per maintenance round inside each run (0 = sequential); figure output is identical at any setting")
 		quiet       = flag.Bool("quiet", false, "suppress the live progress line on stderr")
@@ -131,6 +133,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *recoveryOn {
+		opts.Recovery = refer.RecoverySpec{Enabled: true}
+	}
 	if *seeds > 0 {
 		opts.Seeds = opts.Seeds[:0]
 		for i := 1; i <= *seeds; i++ {
@@ -157,9 +162,10 @@ func main() {
 	}
 
 	// Select figures from the registry: the paper set by default, every
-	// kind except the network-growth study with -extras (its 10,000-node
-	// points dwarf everything else; ask for S1–S3 explicitly with -fig), or
-	// exactly the ones named with -fig.
+	// kind except the network-growth and recovery studies with -extras (the
+	// 10,000-node scale points dwarf everything else, and the recovery
+	// campaigns have their own CI job; ask for S*/R* explicitly with -fig),
+	// or exactly the ones named with -fig.
 	var selected []refer.FigureSpec
 	if len(figs) > 0 {
 		for _, id := range figs {
@@ -177,7 +183,7 @@ func main() {
 		}
 	} else {
 		for _, spec := range refer.Figures() {
-			if spec.Kind == refer.KindPaper || (*extras && spec.Kind != refer.KindScale) {
+			if spec.Kind == refer.KindPaper || (*extras && spec.Kind != refer.KindScale && spec.Kind != refer.KindRecovery) {
 				selected = append(selected, spec)
 			}
 		}

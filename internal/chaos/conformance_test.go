@@ -12,6 +12,7 @@ import (
 
 	"refer/internal/chaos"
 	"refer/internal/experiment"
+	"refer/internal/recovery"
 	"refer/internal/scenario"
 	"refer/internal/trace"
 )
@@ -149,5 +150,157 @@ func runConformance(t *testing.T, sysName string, sched *chaos.Schedule) {
 	}
 	if st := inj.Stats(); st.Crashes == 0 || st.Recoveries == 0 {
 		t.Fatalf("degenerate campaign: %+v", st)
+	}
+}
+
+// recoverySchedules returns the recovery-enabled fault campaigns: sustained
+// churn plus *permanent* actuator kills — the structural damage only the
+// recovery protocols can repair. All transient events complete before
+// confRunEnd; the kills never do, which is the point.
+func recoverySchedules() map[string]*chaos.Schedule {
+	sec := func(s int) chaos.Duration { return chaos.Duration(time.Duration(s) * time.Second) }
+	return map[string]*chaos.Schedule{
+		// Staggered kills under churn: each kill should resolve by corner
+		// re-election while surviving actuators are in range.
+		"kill-churn": {
+			Seed: 2001,
+			Events: []chaos.Event{
+				{Kind: chaos.Churn, At: sec(20), Rate: 0.3, Duration: sec(100), Downtime: sec(15)},
+				{Kind: chaos.ActuatorKill, At: sec(30), Node: 1},
+				{Kind: chaos.ActuatorKill, At: sec(50), Node: 3},
+				{Kind: chaos.ActuatorKill, At: sec(70), Node: 5},
+			},
+		},
+		// Concentrated kills: enough dead corners that some cell finds no
+		// eligible successor and must merge into a neighbor (CAN takeover).
+		"kill-merge": {
+			Seed: 2002,
+			Events: []chaos.Event{
+				{Kind: chaos.ActuatorKill, At: sec(30), Node: 1},
+				{Kind: chaos.ActuatorKill, At: sec(35), Node: 2},
+				{Kind: chaos.ActuatorKill, At: sec(40), Node: 4},
+				{Kind: chaos.ActuatorKill, At: sec(45), Node: 5},
+				{Kind: chaos.Churn, At: sec(60), Rate: 0.2, Duration: sec(60), Downtime: sec(15)},
+			},
+		},
+	}
+}
+
+// TestConformanceRecovery grows the matrix with the recovery campaigns:
+// every evaluated system runs each campaign on the lattice deployment, and
+// systems implementing the recovery protocols (REFER) additionally run them
+// with a recovery manager attached, the harness probing CheckInvariants
+// after every individual recovery action. Run under -race in CI.
+func TestConformanceRecovery(t *testing.T) {
+	schedules := recoverySchedules()
+	names := make([]string, 0, len(schedules))
+	for name := range schedules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, sysName := range experiment.AllSystems() {
+		for _, schedName := range names {
+			sysName, sched := sysName, schedules[schedName]
+			wantMerge := schedName == "kill-merge"
+			t.Run(sysName+"/"+schedName, func(t *testing.T) {
+				t.Parallel()
+				runRecoveryConformance(t, sysName, sched, wantMerge)
+			})
+		}
+	}
+}
+
+func runRecoveryConformance(t *testing.T, sysName string, sched *chaos.Schedule, wantMerge bool) {
+	t.Helper()
+	// The 3×3 actuator lattice gives the kills surviving peers to promote
+	// and neighbor cells to merge into; 400 sensors keep per-cell density at
+	// paper level on the larger field.
+	w := scenario.Build(scenario.Params{
+		Seed: 11, Sensors: 400, MaxSpeed: 1.5, SensorBattery: 10000, ActuatorGrid: 3,
+	})
+	w.EnableBorrowChecks()
+	rec := trace.NewRecorder(64)
+	w.SetTracer(rec)
+
+	sys, err := experiment.NewSystem(sysName, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Build(); err != nil {
+		t.Fatal(err)
+	}
+	checker, ok := sys.(chaos.Checker)
+	if !ok {
+		t.Fatalf("%s does not implement chaos.Checker", sysName)
+	}
+
+	inj, err := chaos.Attach(w, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := chaos.NewHarness(w, checker)
+	h.Observe(inj)
+
+	// Systems that implement the repair protocols get a recovery manager;
+	// the observer probes the full invariant set after every individual
+	// recovery action — not just after injected faults.
+	var mgr *recovery.Manager
+	if rep, ok := sys.(recovery.Repairer); ok {
+		mgr, err = recovery.Attach(w, rep, recovery.Spec{Enabled: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr.SetObserver(func(a recovery.Action) {
+			h.ProbeAfter("recovery:" + string(a.Kind))
+		})
+	}
+
+	sensors := scenario.SensorIDs(w)
+	var burst func()
+	burst = func() {
+		if w.Now() > confTrafficEnd {
+			return
+		}
+		for i := 0; i < 5; i++ {
+			src := sensors[w.Rand().Intn(len(sensors))]
+			if !w.Node(src).Alive() {
+				continue
+			}
+			sys.Inject(src, nil)
+		}
+		if _, err := w.Sched.After(10*time.Second, burst); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := w.Sched.After(10*time.Second, burst); err != nil {
+		t.Fatal(err)
+	}
+
+	w.Sched.RunUntil(confRunEnd)
+
+	if violations := h.Final(); len(violations) != 0 {
+		for i, v := range violations {
+			if i == 10 {
+				t.Errorf("... and %d more", len(violations)-10)
+				break
+			}
+			t.Errorf("violation: %v", v)
+		}
+		t.FailNow()
+	}
+	if c := rec.Counts(); c.Injected == 0 {
+		t.Fatal("degenerate run: no packets injected")
+	}
+	if st := inj.Stats(); st.ActuatorKills == 0 {
+		t.Fatalf("degenerate campaign: %+v", st)
+	}
+	if mgr != nil {
+		st := mgr.Stats()
+		if st.Repairs() == 0 {
+			t.Fatalf("recovery manager attached but no repairs fired: %+v", st)
+		}
+		if wantMerge && (st.Merges == 0 || st.Takeovers == 0) {
+			t.Fatalf("concentrated-kill campaign never exercised merge/takeover: %+v", st)
+		}
 	}
 }

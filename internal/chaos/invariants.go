@@ -54,6 +54,15 @@ func (h *Harness) Observe(inj *Injector) {
 	inj.SetObserver(func(kind EventKind) { h.Check(string(kind)) })
 }
 
+// ProbeAfter runs the mid-run invariants after a named non-fault event —
+// a recovery action, a maintenance round, any moment a subsystem mutated
+// the structures the invariants govern. It is Check under a caller-chosen
+// phase label ("recovery:reelect", …), so the violation log reads as a
+// timeline of *which* mutation broke the structure, not just when.
+// Like every harness check it is a pure read: probing never perturbs a
+// replay.
+func (h *Harness) ProbeAfter(event string) { h.Check(event) }
+
 // Check runs the mid-run invariants and records any violations under the
 // given phase label:
 //

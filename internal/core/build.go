@@ -318,21 +318,24 @@ func (s *System) assignCellSensors() {
 // CellMargin, else nil. The indexed and linear paths give byte-identical
 // answers (TriIndex preserves the scans' first-hit and last-equal-distance
 // tie-breaks); the linear path remains as the DisableCellIndex ablation and
-// the property-test reference.
+// the property-test reference. Both paths decide ownership over the full
+// fixed triangle set — including cells since retired by a recovery merge —
+// and then resolve the owner through the absorber chain, so the indexed,
+// linear and sharded paths keep agreeing after merges.
 func (s *System) homeCell(p geo.Point) *Cell {
 	if s.cellIndex != nil {
 		if ti := s.cellIndex.Containing(p); ti >= 0 {
-			return s.cells[ti]
+			return s.activeCell(s.cells[ti])
 		}
 		if ti := s.cellIndex.NearestWithin(p, s.cfg.CellMargin); ti >= 0 {
-			return s.cells[ti]
+			return s.activeCell(s.cells[ti])
 		}
 		return nil
 	}
 	for _, c := range s.cells {
 		s.stats.MaintainChecks++
 		if c.contains(p, 0) {
-			return c
+			return s.activeCell(c)
 		}
 	}
 	var owner *Cell
@@ -343,7 +346,7 @@ func (s *System) homeCell(p geo.Point) *Cell {
 			owner, bestDist = c, d
 		}
 	}
-	return owner
+	return s.activeCell(owner)
 }
 
 // notePosition memoizes the position a sensor was last homed at (growing
@@ -747,4 +750,42 @@ func cellsAdjacent(w *world.World, a, b *Cell) bool {
 // dhtTier is the CAN state plus helpers bound to the system.
 type dhtTier struct {
 	table *can.Table
+	// takenOver records the CAN zone takeovers of recovery merges: the CID
+	// of a retired cell maps to the CID of its absorber at merge time. The
+	// CAN table itself is immutable; lookups resolve through this layer.
+	// Nil until the first merge, so recovery-disabled runs never touch it.
+	takenOver map[int]int
+}
+
+// resolve follows the takeover chain from cid to the active cell currently
+// answering for it. Chains are finite: a takeover target was active when
+// recorded and retirement is permanent, so no cycle can form.
+func (d *dhtTier) resolve(cid int) int {
+	for {
+		next, ok := d.takenOver[cid]
+		if !ok {
+			return cid
+		}
+		cid = next
+	}
+}
+
+// remapCIDRoute resolves every hop of a CAN route through the zone
+// takeovers and collapses the consecutive duplicates the resolution
+// creates, so inter-cell forwarding only ever visits active cells. Without
+// takeovers the route is returned untouched (the recovery-disabled path
+// allocates nothing here).
+func (s *System) remapCIDRoute(route []int) []int {
+	if len(s.dht.takenOver) == 0 {
+		return route
+	}
+	out := make([]int, 0, len(route))
+	for _, cid := range route {
+		cid = s.dht.resolve(cid)
+		if n := len(out); n > 0 && out[n-1] == cid {
+			continue
+		}
+		out = append(out, cid)
+	}
+	return out
 }

@@ -31,8 +31,17 @@ type Cell struct {
 	// round iterates deterministically without rebuilding and re-sorting the
 	// slice. KIDs are only ever added (during Build); replacement reassigns
 	// a KID's holder but never the KID set, so the cache is valid exactly
-	// when its length matches NodeByKID.
+	// when its length matches NodeByKID. Cell merge empties the KID set and
+	// must nil the cache explicitly (recover.go).
 	kidOrder []kautz.ID
+
+	// retired marks a cell dissolved by a recovery merge: it stays in
+	// s.cells (iteration order is part of the determinism contract) but its
+	// overlay state is empty and absorbedBy points at the cell that
+	// inherited its members and CAN zone (see recover.go). Retirement is
+	// permanent, so absorber chains never cycle.
+	retired    bool
+	absorbedBy *Cell
 }
 
 // sortedKIDs returns the cell's KIDs in ascending order, served from the

@@ -26,6 +26,11 @@ import (
 //     computation) passes kautz.VerifyRoutes — so every failover switch,
 //     which by construction moves to the next route of this set, lands on
 //     a valid disjoint-path successor.
+//  5. Recovery: a cell retired by a merge holds no overlay state at all and
+//     its absorber chain resolves to an active cell; every CAN zone
+//     takeover maps a retired cell to a chain ending in an active one. The
+//     conformance harness probes this (with 1–4) after every individual
+//     recovery action, not just at end of run.
 //
 // Overlay-link serviceability is deliberately not a hard invariant: the
 // embedding tolerates physically broken arcs by design (sendOverlayLink
@@ -38,6 +43,15 @@ func (s *System) CheckInvariants() error {
 	}
 	holders := make(map[world.NodeID]*Cell)
 	for _, c := range s.cells {
+		if c.retired {
+			if len(c.NodeByKID) != 0 || len(c.kidOfNode) != 0 || len(c.members) != 0 {
+				return fmt.Errorf("core: retired cell %d still holds overlay state", c.CID)
+			}
+			if a := s.activeCell(c); a == nil || a.retired {
+				return fmt.Errorf("core: retired cell %d has no active absorber", c.CID)
+			}
+			continue
+		}
 		if len(c.NodeByKID) != len(c.kidOfNode) {
 			return fmt.Errorf("core: cell %d: %d KIDs but %d holders", c.CID, len(c.NodeByKID), len(c.kidOfNode))
 		}
@@ -72,6 +86,18 @@ func (s *System) CheckInvariants() error {
 			holders[id] = c
 			if sc, ok := s.sensorCell[id]; !ok || sc != c {
 				return fmt.Errorf("core: overlay sensor %d of cell %d not registered in sensorCell", id, c.CID)
+			}
+		}
+	}
+	if s.dht != nil {
+		for cid := range s.dht.takenOver {
+			c, ok := s.cellByCID[cid]
+			if !ok || !c.retired {
+				return fmt.Errorf("core: CAN takeover recorded for non-retired cell %d", cid)
+			}
+			target, ok := s.cellByCID[s.dht.resolve(cid)]
+			if !ok || target.retired {
+				return fmt.Errorf("core: CAN takeover of cell %d resolves to a retired zone", cid)
 			}
 		}
 	}

@@ -50,6 +50,9 @@ func (s *System) maintainOnce() {
 	}
 	s.refreshMembership()
 	for _, c := range s.cells {
+		if c.retired {
+			continue // dissolved by a recovery merge; nothing to maintain
+		}
 		// One sleeping sensor per cell wakes and probes per round — the
 		// cheap keepalive that lets candidates learn the overlay around
 		// them (Section III-B-4).

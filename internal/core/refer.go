@@ -135,7 +135,12 @@ type System struct {
 	built         bool
 	maintenanceOn bool
 	degradedAt    map[world.NodeID]time.Duration
-	stats         Stats
+	// cornerDownAt records when a recovery sweep first observed a corner
+	// actuator dead (virtual time), keyed by the actuator; repairs trigger
+	// once an entry ages past the grace window (recover.go). Lazily
+	// allocated on the first sweep so recovery-disabled runs never touch it.
+	cornerDownAt map[world.NodeID]time.Duration
+	stats        Stats
 
 	// shards is the lazily-built worker plan for RunParallelism > 1 (nil
 	// until the first parallel maintenance round); shardChecks accumulates
@@ -269,10 +274,16 @@ func (s *System) AddressOf(id world.NodeID) (Address, bool) {
 
 // DHTRoute returns the CAN-tier CID route between two cells and whether
 // pure greedy forwarding sufficed (false also covers unbuilt systems or a
-// disconnected pair, in which case the route is nil).
+// disconnected pair, in which case the route is nil). Endpoints and hops
+// belonging to cells retired by a recovery merge resolve to their absorbers
+// (the CAN zone takeover), so routes only ever name active cells.
 func (s *System) DHTRoute(fromCID, toCID int) ([]int, bool) {
 	if s.dht == nil {
 		return nil, false
 	}
-	return s.dht.table.Route(fromCID, toCID)
+	route, greedy := s.dht.table.Route(s.dht.resolve(fromCID), s.dht.resolve(toCID))
+	if route == nil {
+		return nil, greedy
+	}
+	return s.remapCIDRoute(route), greedy
 }

@@ -493,6 +493,10 @@ func (s *System) routeInterCell(fromCell *Cell, at world.NodeID, dstCell *Cell, 
 		done(false, world.NoNode)
 		return
 	}
+	// Intermediate hops may name cells retired by a recovery merge; the zone
+	// takeovers resolve them to their absorbers (endpoints are active cells
+	// and resolve to themselves).
+	cidRoute = s.remapCIDRoute(cidRoute)
 	s.hopCells(at, cidRoute, 0, p, done)
 }
 

@@ -215,6 +215,12 @@ func (s *System) refreshMembershipSharded(p *shardPlan) {
 			} else if ti := cur.NearestWithin(pos, s.cfg.CellMargin); ti >= 0 {
 				owner = int32(ti)
 			}
+			if owner >= 0 {
+				// Resolve cells retired by a recovery merge to their absorber
+				// (CID == index in s.cells), exactly as the sequential
+				// homeCell does; shards only read the chain, never write it.
+				owner = int32(s.activeCell(s.cells[owner]).CID)
+			}
 			if int(owner) < 0 && s.sensorCell[n.ID] == nil {
 				continue // no cell before, none now: nothing to merge
 			}
@@ -250,6 +256,12 @@ func (s *System) refreshMembershipSharded(p *shardPlan) {
 // exclusive to this cell's worker (actuator corners are never position-read).
 func (s *System) precomputeCell(p *shardPlan, ci int) {
 	c := s.cells[ci]
+	if c.retired {
+		// Dissolved by a recovery merge: empty scratch, skipped at merge.
+		p.pool[ci] = p.pool[ci][:0]
+		p.geoOK[ci] = p.geoOK[ci][:0]
+		return
+	}
 	// The pool replicates candidatePool: alive, unassigned members sorted by
 	// ID. Map iteration order varies, the insertion-sorted result does not.
 	pool := p.pool[ci][:0]
@@ -288,6 +300,9 @@ func (s *System) precomputeCell(p *shardPlan, ci int) {
 // re-checks the generation and falls back to the live scan when it moved.
 func (s *System) mergeCells(p *shardPlan, aliveGen uint64) {
 	for ci, c := range s.cells {
+		if c.retired {
+			continue // matches the sequential loop's retired-cell skip
+		}
 		pool := p.pool[ci]
 		if s.w.AliveGen() != aliveGen {
 			pool = s.candidatePool(c)

@@ -9,6 +9,7 @@ import (
 
 	"refer/internal/chaos"
 	"refer/internal/energy"
+	"refer/internal/recovery"
 	"refer/internal/scenario"
 )
 
@@ -47,6 +48,10 @@ type canonicalRun struct {
 	// run uses the default model, so every config written before the energy
 	// redesign keeps its key (pinned by TestConfigKeyEnergyStability).
 	Energy *energy.Spec `json:"energy,omitempty"`
+	// Recovery follows the same append-only rule: omitted for the zero spec,
+	// so every config written before the recovery subsystem keeps its key
+	// (pinned by TestConfigKeyRecoveryStability).
+	Recovery *recovery.Spec `json:"recovery,omitempty"`
 }
 
 // ConfigKey returns the content address of a run: the hex SHA-256 of the
@@ -86,6 +91,13 @@ func ConfigKey(cfg RunConfig) (string, error) {
 		spec := cfg.Energy
 		c.Energy = &spec
 	}
+	if !cfg.Recovery.IsZero() {
+		if err := cfg.Recovery.Validate(); err != nil {
+			return "", err
+		}
+		spec := cfg.Recovery
+		c.Recovery = &spec
+	}
 	return hashJSON(c)
 }
 
@@ -106,6 +118,7 @@ type canonicalFigure struct {
 	TraceSample      int             `json:"trace_sample"`
 	Chaos            *chaos.Schedule `json:"chaos,omitempty"`
 	Energy           *energy.Spec    `json:"energy,omitempty"`
+	Recovery         *recovery.Spec  `json:"recovery,omitempty"`
 }
 
 // OptionsKey returns the content address of a figure build: the hex SHA-256
@@ -132,6 +145,13 @@ func OptionsKey(figureID string, o Options) (string, error) {
 		}
 		spec := o.Energy
 		c.Energy = &spec
+	}
+	if !o.Recovery.IsZero() {
+		if err := o.Recovery.Validate(); err != nil {
+			return "", err
+		}
+		spec := o.Recovery
+		c.Recovery = &spec
 	}
 	return hashJSON(c)
 }

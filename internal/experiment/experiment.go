@@ -19,6 +19,7 @@ import (
 	"refer/internal/energy"
 	"refer/internal/kautzoverlay"
 	"refer/internal/metrics"
+	"refer/internal/recovery"
 	"refer/internal/scenario"
 	"refer/internal/trace"
 	"refer/internal/world"
@@ -61,6 +62,14 @@ const (
 	// pair) via the generalized embedding — the paper's future work.
 	// Needs roughly 300+ sensors for the 33 overlay sensors per cell.
 	SystemREFERK33 = "REFER/K(3,3)"
+
+	// SystemREFERRecovery is REFER with the self-healing actuator-recovery
+	// protocols attached (internal/recovery + core/recover.go): corner
+	// re-election, cell merge and CAN zone takeover. Selecting this system
+	// with a zero RunConfig.Recovery enables recovery at its defaults; an
+	// explicit spec overrides them. The plain SystemREFER never attaches
+	// recovery unless RunConfig.Recovery explicitly enables it.
+	SystemREFERRecovery = "REFER/recovery"
 )
 
 // AllSystems lists the four evaluated systems in the paper's order.
@@ -97,6 +106,10 @@ var systemBuilders = map[string]func(w *world.World) System{
 		cfg.Degree = 3
 		return core.New(w, cfg)
 	},
+	// The recovery variant builds a stock REFER system; the recovery manager
+	// itself is attached by runObserved after Build (it needs the run's
+	// effective spec, not just the system name).
+	SystemREFERRecovery: func(w *world.World) System { return core.New(w, core.DefaultConfig()) },
 	SystemDaTree:       func(w *world.World) System { return datree.New(w, datree.DefaultConfig()) },
 	SystemDDEAR:        func(w *world.World) System { return ddear.New(w, ddear.DefaultConfig()) },
 	SystemKautzOverlay: func(w *world.World) System { return kautzoverlay.New(w, kautzoverlay.DefaultConfig()) },
@@ -181,6 +194,16 @@ type RunConfig struct {
 	// knob is excluded from ConfigKey. Values outside [0, MaxParallelism]
 	// are a config error.
 	RunParallelism int
+	// Recovery configures the self-healing actuator-recovery protocols
+	// (see recovery.Spec): corner re-election, cell merge and CAN zone
+	// takeover, driven by a periodic detection sweep on the DES. The zero
+	// value attaches nothing — zero extra events, zero RNG draws, and it
+	// canonicalizes to nothing so pre-existing ConfigKeys are unchanged.
+	// A zero spec on SystemREFERRecovery enables recovery at its defaults.
+	// Only REFER variants honor the spec; other systems ignore it (but it
+	// still keys the config — a run that requested recovery is a different
+	// experiment even where the knob is inert).
+	Recovery recovery.Spec
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -315,6 +338,12 @@ type RunStats struct {
 	MembershipPhaseNs int64 `json:"membership_phase_ns"`
 	CellPhaseNs       int64 `json:"cell_phase_ns"`
 	MergeNs           int64 `json:"merge_ns"`
+	// Recovery holds the self-healing counters when a recovery manager was
+	// attached (detection sweeps, re-elections, merges, takeovers and the
+	// accumulated virtual detection→repair latency); zero otherwise. All
+	// fields are deterministic per seed — latency is virtual time — so
+	// StripWallClock leaves them alone and replay comparisons include them.
+	Recovery recovery.Stats `json:"recovery"`
 }
 
 // StripWallClock returns the stats with the host-timing and host-execution
@@ -422,6 +451,26 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 	}
 	if err := sys.Build(); err != nil {
 		return Result{}, fmt.Errorf("experiment: building %s: %w", cfg.System, err)
+	}
+	// Self-healing recovery: SystemREFERRecovery with a zero spec runs the
+	// defaults; any REFER variant honors an explicitly enabled spec. A zero
+	// spec elsewhere attaches nothing — no events, no RNG draws — so those
+	// runs replay byte-identically to builds without the subsystem.
+	recSpec := cfg.Recovery
+	if recSpec.IsZero() && cfg.System == SystemREFERRecovery {
+		recSpec = recovery.Spec{Enabled: true}
+	}
+	if err := recSpec.Validate(); err != nil {
+		return Result{}, err
+	}
+	var recMgr *recovery.Manager
+	if recSpec.Enabled {
+		if cs, ok := sys.(*core.System); ok {
+			recMgr, err = recovery.Attach(w, cs, recSpec)
+			if err != nil {
+				return Result{}, err
+			}
+		}
 	}
 	var injector *chaos.Injector
 	if cfg.Chaos != nil {
@@ -553,6 +602,9 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 	}
 	if secs := stats.WallClock.Seconds(); secs > 0 {
 		stats.EventsPerSec = float64(stats.DESEvents) / secs
+	}
+	if recMgr != nil {
+		stats.Recovery = recMgr.Stats()
 	}
 	switch impl := sys.(type) {
 	case *core.System:

@@ -14,6 +14,7 @@ import (
 	"refer/internal/chaos"
 	"refer/internal/energy"
 	"refer/internal/metrics"
+	"refer/internal/recovery"
 	"refer/internal/scenario"
 	"refer/internal/trace"
 )
@@ -65,6 +66,11 @@ type Options struct {
 	// default to the radio model). The zero value keeps the paper's flat
 	// constants, leaving every pre-existing figure CSV byte-identical.
 	Energy energy.Spec
+	// Recovery, when non-zero, applies the self-healing recovery spec to
+	// every run of the sweep that does not already carry its own. The zero
+	// value attaches nothing (SystemREFERRecovery still self-enables its
+	// defaults), leaving every pre-existing figure CSV byte-identical.
+	Recovery recovery.Spec
 
 	// figureID labels progress events with the owning registry entry; set
 	// by the registry wrapper, empty for direct sweep use.
@@ -133,6 +139,10 @@ type SweepStats struct {
 	MembershipPhaseNs int64  `json:"membership_phase_ns"`
 	CellPhaseNs       int64  `json:"cell_phase_ns"`
 	MergeNs           int64  `json:"merge_ns"`
+	// Recovery sums the runs' self-healing counters; zero unless a recovery
+	// manager was attached. Deterministic per Options (virtual-time
+	// latencies), unlike the shard counters above.
+	Recovery recovery.Stats `json:"recovery"`
 }
 
 // accumulate folds one run's stats into the sweep totals.
@@ -149,6 +159,7 @@ func (s *SweepStats) accumulate(r RunStats) {
 	s.MembershipPhaseNs += r.MembershipPhaseNs
 	s.CellPhaseNs += r.CellPhaseNs
 	s.MergeNs += r.MergeNs
+	s.Recovery.Add(r.Recovery)
 }
 
 // finish stamps the end-to-end timing fields.
@@ -312,6 +323,9 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 				}
 				if cfg.Energy.IsZero() {
 					cfg.Energy = o.Energy
+				}
+				if cfg.Recovery.IsZero() {
+					cfg.Recovery = o.Recovery
 				}
 				if cfg.RunParallelism == 0 {
 					cfg.RunParallelism = o.RunParallelism

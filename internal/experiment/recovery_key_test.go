@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"refer/internal/recovery"
+	"refer/internal/scenario"
+)
+
+// TestConfigKeyRecoveryStability pins the append-only canonicalization
+// contract for the recovery subsystem: a zero Recovery spec encodes to
+// nothing, so every content address computed before the recovery change —
+// the constants of TestConfigKeyEnergyStability, verified byte-identical at
+// the commit preceding the energy API and again here — is unchanged.
+func TestConfigKeyRecoveryStability(t *testing.T) {
+	k, err := ConfigKey(RunConfig{Scenario: scenario.Params{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != legacyRunKeySeed7 {
+		t.Fatalf("zero-Recovery run key moved:\n got %s\nwant %s", k, legacyRunKeySeed7)
+	}
+	k, err = ConfigKey(RunConfig{
+		Scenario:   scenario.Params{Seed: 7, Sensors: 150, MaxSpeed: 2.5},
+		Warmup:     100 * time.Second,
+		Duration:   300 * time.Second,
+		FaultCount: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != legacyRunKeyReplay {
+		t.Fatalf("zero-Recovery replay-config key moved:\n got %s\nwant %s", k, legacyRunKeyReplay)
+	}
+
+	ko, err := OptionsKey("4", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ko != legacyOptionsKey4 {
+		t.Fatalf("zero-Recovery options key moved:\n got %s\nwant %s", ko, legacyOptionsKey4)
+	}
+}
+
+// TestConfigKeyRecoveryPerturbation checks every non-zero recovery spec
+// lands in its own key, distinct from the legacy key and from each other,
+// and that malformed specs are rejected instead of keyed.
+func TestConfigKeyRecoveryPerturbation(t *testing.T) {
+	keys := map[string]string{"legacy": legacyRunKeySeed7}
+	for name, spec := range map[string]recovery.Spec{
+		"enabled":        {Enabled: true},
+		"short-grace":    {Enabled: true, GraceS: 1},
+		"slow-detection": {Enabled: true, CheckIntervalS: 30},
+		"tuned-disabled": {GraceS: 1}, // non-zero even with Enabled false
+	} {
+		k, err := ConfigKey(RunConfig{Scenario: scenario.Params{Seed: 7}, Recovery: spec})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for other, ko := range keys {
+			if k == ko {
+				t.Errorf("recovery spec %q collides with %q", name, other)
+			}
+		}
+		keys[name] = k
+	}
+
+	if _, err := ConfigKey(RunConfig{
+		Scenario: scenario.Params{Seed: 7},
+		Recovery: recovery.Spec{Enabled: true, GraceS: -1},
+	}); err == nil {
+		t.Error("invalid recovery spec produced a key")
+	}
+
+	ko, err := OptionsKey("4", Options{Recovery: recovery.Spec{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ko == legacyOptionsKey4 {
+		t.Error("Options.Recovery not part of the options key")
+	}
+}

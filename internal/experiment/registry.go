@@ -20,6 +20,12 @@ const (
 	// from the default and -extras CLI selections — the 10,000-node points
 	// dwarf every other figure's cost — and run explicitly via -fig.
 	KindScale
+	// KindRecovery marks the self-healing study (R1–R2): actuator-kill
+	// campaigns comparing REFER with the recovery protocols against REFER
+	// without and the baselines. Excluded from the default and -extras CLI
+	// selections like KindScale — run explicitly via -fig or the
+	// recovery-conformance CI job.
+	KindRecovery
 )
 
 // String returns the kind's lower-case name.
@@ -33,6 +39,8 @@ func (k FigureKind) String() string {
 		return "extension"
 	case KindScale:
 		return "scale"
+	case KindRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("FigureKind(%d)", int(k))
 	}
@@ -112,6 +120,8 @@ var registry = []FigureSpec{
 	newSpec("S2", "Scale: transmission delay vs network growth", KindScale, growthDelay),
 	newSpec("S3", "Scale: membership-maintenance cost vs network growth", KindScale, growthMaintainCost),
 	newSpec("S4", "Scale: delivery ratio at the 100k-sensor frontier (sharded runs)", KindScale, frontierDelivery),
+	newSpec("R1", "Recovery: delivery ratio vs fault intensity", KindRecovery, recoveryDelivery),
+	newSpec("R2", "Recovery: repair latency vs fault intensity", KindRecovery, recoveryLatency),
 }
 
 // newSpec wraps a builder so the spec's ID labels progress events and the

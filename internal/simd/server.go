@@ -164,6 +164,14 @@ type Server struct {
 	shardMembershipNs atomic.Int64
 	shardCellNs       atomic.Int64
 	shardMergeNs      atomic.Int64
+	// Recovery counters accumulated from every executed run. Unlike the
+	// shard counters these are deterministic virtual-time results, so they
+	// survive result stripping; /metrics still aggregates them for fleet
+	// visibility.
+	recoveryReelections atomic.Uint64
+	recoveryMerges      atomic.Uint64
+	recoveryTakeovers   atomic.Uint64
+	recoveryLatencyNs   atomic.Int64
 
 	// runSingle executes one simulation; indirected so tests can install
 	// deterministic blocking or failing runs.
@@ -506,6 +514,10 @@ func (s *Server) execute(r *run) {
 		s.shardMembershipNs.Add(res.Stats.MembershipPhaseNs)
 		s.shardCellNs.Add(res.Stats.CellPhaseNs)
 		s.shardMergeNs.Add(res.Stats.MergeNs)
+		s.recoveryReelections.Add(uint64(res.Stats.Recovery.Reelections))
+		s.recoveryMerges.Add(uint64(res.Stats.Recovery.Merges))
+		s.recoveryTakeovers.Add(uint64(res.Stats.Recovery.Takeovers))
+		s.recoveryLatencyNs.Add(res.Stats.Recovery.LatencyNs)
 		// Strip host timing so the cached bytes equal any replay's bytes.
 		res.Stats = res.Stats.StripWallClock()
 		s.desEvents.Add(res.Stats.DESEvents)
@@ -515,6 +527,10 @@ func (s *Server) execute(r *run) {
 		s.shardMembershipNs.Add(fig.Stats.MembershipPhaseNs)
 		s.shardCellNs.Add(fig.Stats.CellPhaseNs)
 		s.shardMergeNs.Add(fig.Stats.MergeNs)
+		s.recoveryReelections.Add(uint64(fig.Stats.Recovery.Reelections))
+		s.recoveryMerges.Add(uint64(fig.Stats.Recovery.Merges))
+		s.recoveryTakeovers.Add(uint64(fig.Stats.Recovery.Takeovers))
+		s.recoveryLatencyNs.Add(fig.Stats.Recovery.LatencyNs)
 		fig.Stats.WallClock = 0
 		fig.Stats.RunWallClock = 0
 		fig.Stats.EventsPerSec = 0
@@ -914,6 +930,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 		ShardMembershipPhaseNs: s.shardMembershipNs.Load(),
 		ShardCellPhaseNs:       s.shardCellNs.Load(),
 		ShardMergeNs:           s.shardMergeNs.Load(),
+		RecoveryReelections:    s.recoveryReelections.Load(),
+		RecoveryMerges:         s.recoveryMerges.Load(),
+		RecoveryTakeovers:      s.recoveryTakeovers.Load(),
+		RecoveryLatencyNs:      s.recoveryLatencyNs.Load(),
 	}
 	if total := m.CacheHits + m.CacheMisses; total > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(total)

@@ -13,7 +13,9 @@ import (
 	"testing"
 	"time"
 
+	"refer/internal/chaos"
 	"refer/internal/experiment"
+	"refer/internal/recovery"
 	"refer/internal/scenario"
 )
 
@@ -653,5 +655,95 @@ func TestRunParallelismCacheAndMetrics(t *testing.T) {
 	}
 	if m.ShardMembershipPhaseNs < 0 || m.ShardCellPhaseNs <= 0 || m.ShardMergeNs <= 0 {
 		t.Fatalf("metrics phase timers not accumulated: %+v", m)
+	}
+}
+
+// TestRecoveryWireCacheAndMetrics pins the serving-layer contract of the
+// recovery field: an enabled spec is part of the content address (unlike
+// run_parallelism it changes the result), the stored result keeps its
+// recovery counters (virtual-time deterministic, so they survive
+// stripping), and the server-side totals accumulate on /metrics.
+func TestRecoveryWireCacheAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	client := ts.Client()
+
+	// The R-family lattice campaign at unit-test scale: churn plus two
+	// permanent actuator kills that only the recovery protocols repair.
+	sec := func(n int) chaos.Duration { return chaos.Duration(time.Duration(n) * time.Second) }
+	req := RunRequest{
+		Seed:         3,
+		Sensors:      400,
+		MaxSpeed:     1,
+		ActuatorGrid: 3,
+		WarmupS:      20,
+		DurationS:    100,
+		Chaos: &chaos.Schedule{
+			Seed: 3,
+			Events: []chaos.Event{
+				{Kind: chaos.Churn, At: sec(10), Rate: 0.1, Duration: sec(120), Downtime: sec(30)},
+				{Kind: chaos.ActuatorKill, At: sec(30), Node: 1},
+				{Kind: chaos.ActuatorKill, At: sec(45), Node: 2},
+			},
+		},
+		Recovery: &recovery.Spec{Enabled: true},
+	}
+	resp, data := postJSON(t, client, ts.URL+"/runs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, client, ts.URL, sub.ID); st.State != StateDone {
+		t.Fatalf("recovery run ended %s", st.State)
+	}
+
+	// The stored result keeps the deterministic recovery counters.
+	_, body := getBody(t, client, ts.URL+"/runs/"+sub.ID+"/result")
+	var res experiment.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Recovery.Repairs() == 0 {
+		t.Fatalf("stored result has no repairs: %+v", res.Stats.Recovery)
+	}
+
+	// The same campaign without the spec is a different experiment: its key
+	// must differ (recovery is in the content address, not a latency knob).
+	plain := req
+	plain.Recovery = nil
+	resp, data = postJSON(t, client, ts.URL+"/runs", plain)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit plain: %d: %s", resp.StatusCode, data)
+	}
+	var plainSub SubmitResponse
+	if err := json.Unmarshal(data, &plainSub); err != nil {
+		t.Fatal(err)
+	}
+	if plainSub.Key == sub.Key {
+		t.Fatalf("recovery-enabled and recovery-off submissions share key %s", sub.Key)
+	}
+	if plainSub.Cached {
+		t.Fatal("recovery-off submission served from the recovery-enabled cache entry")
+	}
+
+	// A malformed spec is a 400 at the wire, never keyed or queued.
+	bad := req
+	bad.Recovery = &recovery.Spec{Enabled: true, GraceS: -1}
+	resp, data = postJSON(t, client, ts.URL+"/runs", bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed recovery spec: %d: %s", resp.StatusCode, data)
+	}
+
+	m := s.MetricsSnapshot()
+	if m.RecoveryReelections == 0 {
+		t.Fatalf("metrics recovery_reelections = 0 after a recovery run: %+v", m)
+	}
+	if m.RecoveryLatencyNs <= 0 {
+		t.Fatalf("metrics recovery_latency_ns not accumulated: %+v", m)
+	}
+	if got := res.Stats.Recovery.Reelections; uint64(got) != m.RecoveryReelections {
+		t.Fatalf("metrics (%d) disagree with the run's counters (%d)", m.RecoveryReelections, got)
 	}
 }

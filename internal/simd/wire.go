@@ -7,6 +7,7 @@ import (
 	"refer/internal/chaos"
 	"refer/internal/energy"
 	"refer/internal/experiment"
+	"refer/internal/recovery"
 	"refer/internal/scenario"
 )
 
@@ -56,6 +57,10 @@ type RunRequest struct {
 	// RunConfig.Energy; see EXPERIMENTS.md). Absent keeps the paper's flat
 	// constants and the run's cache key unchanged.
 	Energy *energy.Spec `json:"energy,omitempty"`
+	// Recovery optionally enables the self-healing recovery protocols (same
+	// schema as RunConfig.Recovery; see EXPERIMENTS.md). Absent keeps
+	// recovery off and the run's cache key unchanged.
+	Recovery *recovery.Spec `json:"recovery,omitempty"`
 	// RunParallelism shards the run's bulk maintenance phases across this
 	// many worker goroutines (RunConfig.RunParallelism). Results are
 	// byte-identical at any setting, so the field is excluded from the
@@ -142,6 +147,12 @@ func (r RunRequest) Config() (experiment.RunConfig, error) {
 		}
 		cfg.Energy = *r.Energy
 	}
+	if r.Recovery != nil {
+		if err := r.Recovery.Validate(); err != nil {
+			return experiment.RunConfig{}, fmt.Errorf("recovery spec: %w", err)
+		}
+		cfg.Recovery = *r.Recovery
+	}
 	return cfg, nil
 }
 
@@ -168,6 +179,9 @@ type FigureRequest struct {
 	// Energy optionally prices every run of the sweep with a cost model
 	// (same schema as RunConfig.Energy; see EXPERIMENTS.md).
 	Energy *energy.Spec `json:"energy,omitempty"`
+	// Recovery optionally enables the self-healing recovery protocols on
+	// every run of the sweep (Options.Recovery).
+	Recovery *recovery.Spec `json:"recovery,omitempty"`
 }
 
 // Options converts the wire request into sweep options.
@@ -215,6 +229,12 @@ func (r FigureRequest) Options() (experiment.Options, error) {
 			return experiment.Options{}, fmt.Errorf("energy spec: %w", err)
 		}
 		o.Energy = *r.Energy
+	}
+	if r.Recovery != nil {
+		if err := r.Recovery.Validate(); err != nil {
+			return experiment.Options{}, fmt.Errorf("recovery spec: %w", err)
+		}
+		o.Recovery = *r.Recovery
 	}
 	return o, nil
 }
@@ -304,6 +324,14 @@ type Metrics struct {
 	ShardMembershipPhaseNs int64  `json:"shard_membership_phase_ns"`
 	ShardCellPhaseNs       int64  `json:"shard_cell_phase_ns"`
 	ShardMergeNs           int64  `json:"shard_merge_ns"`
+	// Recovery counters, accumulated across every executed run: completed
+	// corner re-elections, cell merges and CAN zone takeovers, plus the
+	// cumulative virtual detection→repair latency. All zero unless
+	// submissions enable a recovery spec (or run REFER/recovery).
+	RecoveryReelections uint64 `json:"recovery_reelections"`
+	RecoveryMerges      uint64 `json:"recovery_merges"`
+	RecoveryTakeovers   uint64 `json:"recovery_takeovers"`
+	RecoveryLatencyNs   int64  `json:"recovery_latency_ns"`
 	// RouteTables snapshots the process-wide shared Kautz route tables
 	// every concurrent run reads from.
 	RouteTables []RouteTableMetrics `json:"route_tables"`

@@ -34,6 +34,7 @@ import (
 	"refer/internal/experiment"
 	"refer/internal/kautz"
 	"refer/internal/kautzoverlay"
+	"refer/internal/recovery"
 	"refer/internal/scenario"
 	"refer/internal/trace"
 	"refer/internal/world"
@@ -117,6 +118,11 @@ const (
 	// pre-index linear scans — the scale study's ablation arm. Results are
 	// identical to SystemREFER; only the maintenance work differs.
 	SystemREFERLinearScan = experiment.SystemREFERLinearScan
+
+	// SystemREFERRecovery is REFER with the self-healing recovery protocols
+	// (corner re-election, cell merge, CAN zone takeover) attached — the R
+	// figure family's subject arm.
+	SystemREFERRecovery = experiment.SystemREFERRecovery
 )
 
 // AllSystems lists the four evaluated systems.
@@ -236,6 +242,7 @@ const (
 	KindAblation  = experiment.KindAblation
 	KindExtension = experiment.KindExtension
 	KindScale     = experiment.KindScale
+	KindRecovery  = experiment.KindRecovery
 )
 
 // Figures returns every registered figure in presentation order.
@@ -263,6 +270,11 @@ var (
 
 	// Growth frontier (20k–100k sensors, maintenance sharded per run).
 	FigS4 = experiment.FigS4
+
+	// Self-healing recovery study (delivery ratio and repair latency under
+	// actuator-kill campaigns).
+	FigR1 = experiment.FigR1
+	FigR2 = experiment.FigR2
 )
 
 // MaxParallelism bounds both parallelism knobs (Options.Parallelism /
@@ -329,6 +341,23 @@ var (
 	FigL2 = experiment.FigL2
 	FigL3 = experiment.FigL3
 )
+
+// ---- Self-healing actuator recovery ----
+
+// RecoverySpec is the serializable recovery configuration: the zero value
+// means "recovery disabled" and canonicalizes to nothing, so pre-existing
+// config keys are unchanged. Set it on RunConfig.Recovery (one run) or
+// Options.Recovery (a whole sweep); SystemREFERRecovery enables it with
+// defaults even when the spec is zero.
+type RecoverySpec = recovery.Spec
+
+// RecoveryStats counts the recovery actions a run applied (detection
+// sweeps, corner re-elections, cell merges, CAN zone takeovers) plus the
+// accumulated virtual detection→repair latency. Deterministic per seed.
+type RecoveryStats = recovery.Stats
+
+// RecoveryAction records one completed repair.
+type RecoveryAction = recovery.Action
 
 // ---- Deterministic fault injection ----
 
