@@ -26,10 +26,11 @@ import (
 // whose results are appended to the tree as BENCH_<n>.json files, one per
 // measurement session, so optimization work leaves a comparable record
 // (schema documented in EXPERIMENTS.md). The suite is deliberately small —
-// seven microbenchmarks over the simulation hot paths plus five macros (the
+// eight microbenchmarks over the simulation hot paths plus six macros (the
 // Figure 4 sweep, the network-growth study, a refer-simd serving-load storm,
-// the sharded-maintenance shard-count sweep, and the recovery-campaign
-// sweep) — so CI can afford to run it on every change.
+// the sharded-maintenance shard-count sweep, the batched-drain worker-count
+// sweep, and the recovery-campaign sweep) — so CI can afford to run it on
+// every change.
 
 // benchSchema names the BENCH file layout; bump on incompatible change.
 const benchSchema = "refer-bench/1"
@@ -201,6 +202,41 @@ func benchMaintain(linear bool) (benchMicro, error) {
 		name = "maintain_once_linear"
 	}
 	return microResult(name, r), nil
+}
+
+// benchDrainOnce measures one tagged schedule/fire cycle on the serial
+// drain path (drain parallelism 1) — the overhead AtTagged adds to the
+// classic event lifecycle when batching is off. Producers tag their radio
+// events unconditionally, so this path must stay allocation-free; the suite
+// fails rather than record a regression of that contract
+// (TestDrainSerialZeroAlloc pins the same property).
+func benchDrainOnce() (benchMicro, error) {
+	s := &des.Scheduler{}
+	s.SetDrainParallelism(1)
+	fn := func() {}
+	prep := func(int, time.Duration, des.Claims, int32, int32) {}
+	claims := des.Claims{1, 2}
+	churn := func() {
+		at := s.Now() + time.Microsecond
+		if _, err := s.AtTagged(at, claims, prep, 7, -1, fn); err != nil {
+			panic(err)
+		}
+		s.RunUntil(at)
+	}
+	for k := 0; k < 64; k++ {
+		churn()
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			churn()
+		}
+	})
+	m := microResult("drain_once", r)
+	if m.AllocsPerOp != 0 {
+		return benchMicro{}, fmt.Errorf("drain_once: serial drain path allocates (%d allocs/op, %d B/op); the zero-alloc contract is broken", m.AllocsPerOp, m.BytesPerOp)
+	}
+	return m, nil
 }
 
 // benchMeterCharge measures one Tx+Rx charge pair on a battery-constrained
@@ -477,6 +513,83 @@ func benchMaintainParallel() (benchMacro, error) {
 	}, nil
 }
 
+// benchDrainParallel runs the S5 heavy-traffic frontier point (20,000
+// mobile sensors, dense per-second bursts from 64 sources) at DES drain
+// worker counts 1, 2, 4 and 8 — the intra-run event batching of
+// internal/des/drain.go. Results are byte-identical at every worker count
+// (asserted here after stripping host timing, and pinned by
+// TestDrainParallelismInvariance); the macro records what the parallel
+// prepares buy in whole-run wall time. The batch warms only the
+// neighbor-cache share of each event (the serial commit keeps RNG, energy
+// and radio mutation), so speedups are bounded well below the worker count
+// — see DESIGN.md §13 for the Amdahl accounting — and only materialize on
+// multi-core hosts; read them against the report's cpus field.
+func benchDrainParallel() (benchMacro, error) {
+	base := refer.RunConfig{
+		Sources:       64,
+		BurstInterval: time.Second,
+		Warmup:        5 * time.Second,
+		Duration:      20 * time.Second,
+		Scenario: refer.ScenarioParams{
+			Seed:         1,
+			Sensors:      20000,
+			MaxSpeed:     5,
+			ActuatorGrid: 15,
+		},
+	}
+	// Prime process-level caches (the shared Theorem 3.8 route table) with a
+	// short run so the first timed setting is not charged for their build.
+	prime := base
+	prime.Warmup, prime.Duration = time.Second, 2*time.Second
+	if _, err := refer.Run(prime); err != nil {
+		return benchMacro{}, err
+	}
+	start := time.Now()
+	extra := map[string]float64{"sensors": float64(base.Scenario.Sensors)}
+	wallBy := map[int]float64{}
+	var canonical []byte
+	var eps float64
+	runs := 0
+	for _, dp := range []int{1, 2, 4, 8} {
+		cfg := base
+		cfg.DrainParallelism = dp
+		t0 := time.Now()
+		res, err := refer.Run(cfg)
+		if err != nil {
+			return benchMacro{}, err
+		}
+		wall := time.Since(t0).Seconds()
+		wallBy[dp] = wall
+		extra[fmt.Sprintf("wall_seconds_drain_%d", dp)] = wall
+		runs++
+		if dp == 1 {
+			eps = res.Stats.EventsPerSec
+		}
+		res.Stats = res.Stats.StripWallClock()
+		data, err := json.Marshal(res)
+		if err != nil {
+			return benchMacro{}, err
+		}
+		if canonical == nil {
+			canonical = data
+		} else if !bytes.Equal(canonical, data) {
+			return benchMacro{}, fmt.Errorf("drain_parallel: results at %d drain workers diverge from the serial run; the byte-identity contract is broken", dp)
+		}
+	}
+	for _, dp := range []int{2, 4, 8} {
+		if w := wallBy[dp]; w > 0 {
+			extra[fmt.Sprintf("speedup_drain_%d", dp)] = wallBy[1] / w
+		}
+	}
+	return benchMacro{
+		Name:         "drain_parallel",
+		WallSeconds:  time.Since(start).Seconds(),
+		Runs:         runs,
+		EventsPerSec: eps,
+		Extra:        extra,
+	}, nil
+}
+
 // benchRecoveryCampaign runs the R1 delivery sweep at quick scale: five
 // systems across four fault intensities of churn plus permanent actuator
 // kills, REFER's runs carrying the full detection/repair loop. The Extra
@@ -562,6 +675,12 @@ func runBenchSuite(quiet bool, parallelism int) (string, error) {
 		return "", err
 	}
 	report.Micro = append(report.Micro, ml)
+	progress("bench: drain_once...\n")
+	do, err := benchDrainOnce()
+	if err != nil {
+		return "", err
+	}
+	report.Micro = append(report.Micro, do)
 	progress("bench: meter_charge...\n")
 	report.Micro = append(report.Micro, benchMeterCharge())
 	progress("bench: recover_once...\n")
@@ -594,6 +713,12 @@ func runBenchSuite(quiet bool, parallelism int) (string, error) {
 		return "", err
 	}
 	report.Macro = append(report.Macro, mp)
+	progress("bench: drain_parallel...\n")
+	dp, err := benchDrainParallel()
+	if err != nil {
+		return "", err
+	}
+	report.Macro = append(report.Macro, dp)
 	progress("bench: recovery_campaign...\n")
 	rc, err := benchRecoveryCampaign(parallelism)
 	if err != nil {

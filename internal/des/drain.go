@@ -1,0 +1,383 @@
+// Batched drain: the parallel counterpart of the classic one-event-at-a-time
+// scheduler loop. Events may declare conflict domains (Claims) and a
+// side-effect-free prepare callback; RunUntilLimit then stages a maximal
+// pairwise conflict-free set of tagged events from a bounded lookahead
+// window, executes the prepares in parallel on a per-batch worker set, and
+// commits the events serially in canonical (timestamp, sequence) order. All
+// RNG draws, energy charges and world mutations stay on the commit
+// goroutine — the prepare phase may only warm caches whose reads the claims
+// cover — so results are byte-identical at any drain parallelism.
+//
+// Determinism argument, in full:
+//
+//   - Batch formation pops events in heap order; events it passes over
+//     (untagged, or conflicting with an already-staged claim) go straight
+//     back on the heap with their sequence numbers intact, so the staged
+//     slice is an in-order subsequence of the canonical (at, seq) order.
+//   - The commit loop walks that subsequence in order, and before committing
+//     each staged event it interleaves any heap event with an earlier
+//     (at, seq) — including the passed-over ones — so the global commit
+//     order is the same total order the serial loop produces.
+//   - The prepare phase mutates nothing the commit phase reads for its
+//     decisions. Claim disjointness makes concurrently-running prepares
+//     race-free; an interleaved commit inside a staged event's claim region
+//     can only make its warmed state stale, and the producer-side
+//     exact-match consume plus the generation-snapshot guard
+//     (InvalidateReads) turn staleness into a skipped or re-executed warm,
+//     never a wrong result.
+package des
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Domain identifies a conflict domain: an opaque key naming a piece of
+// shared state an event's prepare callback may read. The zero Domain is a
+// non-domain (an unused Claims slot). Producers pick the granularity — the
+// WSAN world uses spatial tiles; "global" events simply stay untagged.
+type Domain uint64
+
+// Claims is an event's fixed-size conflict-domain set. Events whose claim
+// sets are pairwise disjoint may prepare concurrently. The all-zero Claims
+// means untagged: the event never joins a batch and always executes on the
+// classic serial path, which is also the correct declaration for events that
+// touch global state (maintenance ticks, fault injection, recovery probes).
+type Claims [4]Domain
+
+// zero reports whether no domain is claimed.
+func (c Claims) zero() bool { return c == Claims{} }
+
+// Contains reports whether every non-zero domain of sub is claimed by c.
+// Prepare callbacks use it to verify, against the actual read set they are
+// about to touch, that the schedule-time claims still cover it; on a miss
+// they must skip their work (the commit path then simply computes it
+// serially, so verification failures cost performance, never correctness).
+func (c Claims) Contains(sub Claims) bool {
+	for _, d := range sub {
+		if d == 0 {
+			continue
+		}
+		if c[0] != d && c[1] != d && c[2] != d && c[3] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// PrepFunc is an event's parallel prepare callback. It runs on an arbitrary
+// worker goroutine with the scheduler paused: it must not schedule, cancel,
+// draw randomness, or mutate anything outside state its event's Claims
+// cover plus the per-worker scratch indexed by worker. at is the event's
+// timestamp; arg0/arg1 are the two packed arguments given to AtTagged, and
+// claims echoes the event's claim set for read-set verification. One shared
+// PrepFunc value serves every event of a producer, so tagging adds no
+// per-event closure allocation.
+type PrepFunc func(worker int, at time.Duration, claims Claims, arg0, arg1 int32)
+
+// DrainStats counts the batched drain's work. The counters depend on the
+// drain parallelism and batch geometry, so — like wall-clock — they are
+// observability, not simulation results, and must be stripped from anything
+// byte-compared across parallelism levels.
+type DrainStats struct {
+	// Batches is the number of prepared batches; BatchedEvents the events
+	// prepared in them (an event pushed back by a halt or batch limit and
+	// re-prepared later counts once per preparation).
+	Batches       uint64
+	BatchedEvents uint64
+	// SerialEvents counts events the drain executed without preparation:
+	// untagged events, deferred conflicting events committed through the
+	// interleave path, and batches below the minimum prepare size.
+	SerialEvents uint64
+	// Reexecs counts staged events whose prepare was re-run serially at
+	// commit because an earlier commit bumped the read generation.
+	Reexecs uint64
+	// PrepNs is wall-clock nanoseconds spent in parallel prepare phases.
+	PrepNs int64
+}
+
+const (
+	// stagedIdx marks an event popped from the heap into the staged batch.
+	stagedIdx = -2
+	// drainWindow is the batch lookahead: events within this much virtual
+	// time of the batch head may join it. Bounded so prepares never read
+	// state far ahead of the committed clock (mobility models guarantee
+	// bounded position backtracking well beyond this window).
+	drainWindow = 2 * time.Millisecond
+	// drainScanLimit caps how many events one batch formation pops while
+	// collecting its conflict-free set; events it passes over go back on
+	// the heap, so the cap bounds that wasted heap traffic on windows
+	// dominated by untagged events.
+	drainScanLimit = 64
+	// minPrepBatch is the smallest batch worth spawning workers for;
+	// singletons commit serially with zero prepare overhead. Even a pair
+	// pays: a prepare costs microseconds (a spatial query plus a sorted
+	// rebuild) against ~1 µs of goroutine handoff.
+	minPrepBatch = 2
+)
+
+// SetDrainParallelism sets the worker count for the batched drain. Values
+// below 2 (including the default 0) select the classic serial loop, whose
+// cost and allocation profile are completely unchanged. The setting only
+// takes effect between RunUntilLimit calls.
+func (s *Scheduler) SetDrainParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// DrainParallelism returns the configured drain worker count (minimum 1).
+func (s *Scheduler) DrainParallelism() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
+
+// InvalidateReads bumps the read generation consulted by the batched
+// drain's snapshot guard. Producers call it whenever serially-committed
+// state that prepare callbacks read (beyond what Claims disjointness
+// already isolates) may have changed — the WSAN world calls it on every
+// liveness transition. Serial runs may call it freely; it is a counter
+// increment and nothing else.
+func (s *Scheduler) InvalidateReads() { s.readGen++ }
+
+// DrainStats returns a snapshot of the batched-drain counters.
+func (s *Scheduler) DrainStats() DrainStats { return s.dstats }
+
+// AtTagged schedules fn like At, additionally declaring the conflict
+// domains fn's decision inputs live in and a prepare callback that may warm
+// them from a worker goroutine. With drain parallelism below 2, a nil prep
+// or zero claims, it is exactly At — same cost, same allocation profile —
+// so producers can tag unconditionally.
+func (s *Scheduler) AtTagged(at time.Duration, claims Claims, prep PrepFunc, arg0, arg1 int32, fn func()) (Handle, error) {
+	h, err := s.At(at, fn)
+	if err != nil {
+		return h, err
+	}
+	if s.workers < 2 || prep == nil || claims.zero() {
+		return h, nil
+	}
+	ev := h.ev
+	ev.claims = claims
+	ev.prep = prep
+	ev.p0, ev.p1 = arg0, arg1
+	return h, nil
+}
+
+// drainUntilLimit is RunUntilLimit's batched path, active when
+// SetDrainParallelism enabled two or more workers. Untagged events step
+// through the classic serial path one at a time; runs of conflict-free
+// tagged events stage, prepare in parallel, and commit in canonical order.
+func (s *Scheduler) drainUntilLimit(deadline time.Duration, limit int) bool {
+	s.halted = false
+	executed := 0
+	for !s.halted && (limit <= 0 || executed < limit) {
+		if len(s.heap) == 0 || s.heap[0].at > deadline {
+			if s.now < deadline {
+				s.now = deadline
+			}
+			return false
+		}
+		if s.heap[0].prep == nil {
+			s.Step()
+			s.dstats.SerialEvents++
+			executed++
+			continue
+		}
+		executed = s.drainBatch(deadline, limit, executed)
+	}
+	if s.halted {
+		return false
+	}
+	return len(s.heap) > 0 && s.heap[0].at <= deadline
+}
+
+// drainBatch stages a maximal conflict-free set of tagged events from the
+// head of the queue's lookahead window, prepares it in parallel, and
+// commits it serially. The staged set need not be a prefix of the queue:
+// untagged and conflicting events formation passes over go back on the
+// heap, and the commit loop interleaves them at their canonical (at, seq)
+// positions — so the global commit order is still the serial loop's total
+// order, and the warm-consumption guards (exact-match consume, read-
+// generation re-execution) make an intervening commit inside a staged
+// event's claim region a lost warm, never a wrong one. It returns the
+// updated executed count; on a halt or batch limit it pushes the
+// uncommitted remainder back onto the heap (sequence numbers are
+// preserved, so the canonical order is unaffected).
+func (s *Scheduler) drainBatch(deadline time.Duration, limit int, executed int) int {
+	// ---- formation (serial): collect a disjoint set from the window ----
+	window := s.heap[0].at + drainWindow
+	if window > deadline {
+		window = deadline
+	}
+	if s.claimed == nil {
+		s.claimed = make(map[Domain]struct{}, 4*minPrepBatch)
+	}
+	clear(s.claimed)
+	s.staged = s.staged[:0]
+	s.stagedNext = 0
+	scanned := 0
+	for len(s.heap) > 0 && scanned < drainScanLimit {
+		top := s.heap[0]
+		if top.at > window {
+			break
+		}
+		if limit > 0 && executed+len(s.staged) >= limit {
+			break
+		}
+		scanned++
+		conflict := top.prep == nil // untagged: conflicts with everything
+		for _, d := range top.claims {
+			if d == 0 || conflict {
+				continue
+			}
+			if _, dup := s.claimed[d]; dup {
+				conflict = true
+			}
+		}
+		s.remove(0)
+		if conflict {
+			s.deferred = append(s.deferred, top)
+			continue
+		}
+		top.idx = stagedIdx
+		s.staged = append(s.staged, top)
+		s.stagedLive++
+		for _, d := range top.claims {
+			if d != 0 {
+				s.claimed[d] = struct{}{}
+			}
+		}
+	}
+	// Passed-over events return to the heap before any prepare runs: their
+	// sequence numbers are untouched, so they re-enter at their canonical
+	// positions and the commit loop below interleaves them correctly.
+	for _, ev := range s.deferred {
+		s.push(ev)
+	}
+	s.deferred = s.deferred[:0]
+
+	// ---- prepare (parallel): warm each staged event's read set ----
+	genSnap := s.readGen
+	if len(s.staged) >= minPrepBatch {
+		t0 := time.Now()
+		nw := s.workers
+		if nw > len(s.staged) {
+			nw = len(s.staged)
+		}
+		// The drain goroutine is worker 0 and only nw-1 goroutines spawn:
+		// on the small batches real workloads form, parking the committer in
+		// a WaitGroup just to schedule one more goroutine would cost more
+		// than the prepares themselves.
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		work := func(worker int) {
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(s.staged) {
+					return
+				}
+				ev := s.staged[i]
+				ev.prep(worker, ev.at, ev.claims, ev.p0, ev.p1)
+				ev.prepped = true
+			}
+		}
+		wg.Add(nw - 1)
+		for w := 1; w < nw; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				work(worker)
+			}(w)
+		}
+		work(0)
+		wg.Wait()
+		s.dstats.PrepNs += time.Since(t0).Nanoseconds()
+		s.dstats.Batches++
+		s.dstats.BatchedEvents += uint64(len(s.staged))
+	} else {
+		s.dstats.SerialEvents += uint64(len(s.staged))
+	}
+
+	// ---- commit (serial, canonical order) ----
+	for s.stagedNext < len(s.staged) {
+		ev := s.staged[s.stagedNext]
+		if ev.fn == nil {
+			// Cancelled while staged: release without firing, like a
+			// cancelled heap event.
+			s.stagedNext++
+			s.release(ev)
+			continue
+		}
+		if s.halted || (limit > 0 && executed >= limit) {
+			s.pushBackStaged()
+			return executed
+		}
+		// Interleave events that committed prefixes scheduled strictly
+		// earlier in the canonical order than the next staged event.
+		for len(s.heap) > 0 && eventLess(s.heap[0], ev) {
+			s.Step()
+			s.dstats.SerialEvents++
+			executed++
+			if s.halted || (limit > 0 && executed >= limit) {
+				s.pushBackStaged()
+				return executed
+			}
+		}
+		if ev.fn == nil { // cancelled by an interleaved event
+			s.stagedNext++
+			s.release(ev)
+			continue
+		}
+		if ev.prepped && s.readGen != genSnap {
+			// An earlier commit invalidated reads the prepare made under the
+			// snapshot: re-execute it serially (worker 0 scratch) so the
+			// warmed state reflects the committed present.
+			ev.prep(0, ev.at, ev.claims, ev.p0, ev.p1)
+			s.dstats.Reexecs++
+		}
+		s.stagedNext++
+		s.stagedLive--
+		s.now = ev.at
+		fn := ev.fn
+		s.release(ev)
+		s.fired++
+		executed++
+		fn()
+	}
+	s.staged = s.staged[:0]
+	s.stagedNext = 0
+	return executed
+}
+
+// pushBackStaged returns uncommitted staged events to the heap (halt or
+// batch limit mid-commit). Their sequence numbers were never touched, so
+// they re-enter the queue at their canonical positions.
+func (s *Scheduler) pushBackStaged() {
+	for i := s.stagedNext; i < len(s.staged); i++ {
+		ev := s.staged[i]
+		if ev.fn == nil {
+			s.release(ev)
+			continue
+		}
+		s.stagedLive--
+		ev.prepped = false
+		s.push(ev)
+	}
+	s.staged = s.staged[:0]
+	s.stagedNext = 0
+}
+
+// stagedPendingAt reports the earliest live staged event's timestamp.
+// Staged events are in canonical order, so the first live one is the
+// earliest.
+func (s *Scheduler) stagedPendingAt() (time.Duration, bool) {
+	for i := s.stagedNext; i < len(s.staged); i++ {
+		if s.staged[i].fn != nil {
+			return s.staged[i].at, true
+		}
+	}
+	return 0, false
+}

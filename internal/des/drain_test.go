@@ -1,0 +1,505 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// harness is a miniature producer driving one Scheduler: events carry
+// conflict domains, draw commit-time RNG, read a shared "world" counter and
+// append to a trace. Prepares write only per-worker and per-domain scratch,
+// so the harness exercises exactly the contract real producers follow.
+type harness struct {
+	s     *Scheduler
+	rng   *rand.Rand
+	trace []string
+	// state is the per-domain committed state prepares may warm.
+	state [64]int
+	// warm is the per-domain warmed snapshot written by prepares; domain
+	// disjointness within a batch makes the writes race-free.
+	warm       [64]int
+	warmAt     [64]time.Duration
+	aliveFlips int
+}
+
+func (h *harness) prep(worker int, at time.Duration, claims Claims, a0, a1 int32) {
+	// Warm every claimed domain: read committed state, stash a snapshot.
+	// Reads are covered by the claims, writes go to claim-owned slots.
+	for _, d := range claims {
+		if d == 0 {
+			continue
+		}
+		i := int(d % 64)
+		h.warm[i] = h.state[i]
+		h.warmAt[i] = at
+	}
+	_ = worker
+	_ = a0
+	_ = a1
+}
+
+// domainClaims builds a Claims set from up to 4 small domain indices
+// (offset so index 0 is a usable domain, since Domain 0 means unused).
+func domainClaims(ds ...int) Claims {
+	var c Claims
+	for i, d := range ds {
+		if i >= len(c) {
+			break
+		}
+		c[i] = Domain(d + 1)
+	}
+	return c
+}
+
+// schedule one tagged event that mutates its domains and logs a trace line
+// with an RNG draw, exactly the decide-at-commit discipline.
+func (h *harness) tagged(t *testing.T, at time.Duration, label string, ds ...int) {
+	t.Helper()
+	claims := domainClaims(ds...)
+	_, err := h.s.AtTagged(at, claims, h.prep, int32(len(ds)), -1, func() {
+		draw := h.rng.Intn(1000)
+		sum := 0
+		for _, d := range claims {
+			if d == 0 {
+				continue
+			}
+			i := int(d % 64)
+			h.state[i]++
+			sum += h.state[i]
+		}
+		h.trace = append(h.trace, fmt.Sprintf("%s@%v draw=%d sum=%d pend=%d", label, h.s.Now(), draw, sum, h.s.Pending()))
+	})
+	if err != nil {
+		t.Fatalf("tagged %s: %v", label, err)
+	}
+}
+
+// global schedules an untagged event touching every domain.
+func (h *harness) global(t *testing.T, at time.Duration, label string) {
+	t.Helper()
+	_, err := h.s.At(at, func() {
+		draw := h.rng.Intn(1000)
+		for i := range h.state {
+			h.state[i] += 2
+		}
+		h.s.InvalidateReads()
+		h.aliveFlips++
+		h.trace = append(h.trace, fmt.Sprintf("%s@%v draw=%d flips=%d", label, h.s.Now(), draw, h.aliveFlips))
+	})
+	if err != nil {
+		t.Fatalf("global %s: %v", label, err)
+	}
+}
+
+// buildSchedule loads a deterministic mixed workload driven by seed:
+// same-timestamp pileups, bounded-lookahead clusters, overlapping and
+// disjoint domains, untagged "chaos/recovery" events that invalidate reads
+// mid-batch, cancellations, and events scheduling follow-on events.
+func buildSchedule(t *testing.T, h *harness, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	var handles []Handle
+	for i := 0; i < 400; i++ {
+		at := time.Duration(rng.Intn(50)) * time.Millisecond
+		// Cluster a third of the events inside sub-window offsets so
+		// batches span the lookahead, not just exact ties.
+		if rng.Intn(3) == 0 {
+			at += time.Duration(rng.Intn(1500)) * time.Microsecond
+		}
+		switch rng.Intn(10) {
+		case 0, 1:
+			h.global(t, at, fmt.Sprintf("g%d", i))
+		case 2:
+			// Cancellable tagged event.
+			claims := domainClaims(rng.Intn(60), rng.Intn(60))
+			label := fmt.Sprintf("c%d", i)
+			hd, err := h.s.AtTagged(at, claims, h.prep, 0, -1, func() {
+				h.trace = append(h.trace, fmt.Sprintf("%s@%v draw=%d", label, h.s.Now(), h.rng.Intn(1000)))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, hd)
+		case 3:
+			// Tagged event that schedules an earlier-than-batch-tail
+			// follow-on, exercising commit interleaving.
+			d0 := rng.Intn(60)
+			follow := at + time.Duration(rng.Intn(500))*time.Microsecond
+			h.tagged(t, at, fmt.Sprintf("t%d", i), d0)
+			h.global(t, follow, fmt.Sprintf("f%d", i))
+		default:
+			n := 1 + rng.Intn(3)
+			ds := make([]int, n)
+			for j := range ds {
+				ds[j] = rng.Intn(60)
+			}
+			h.tagged(t, at, fmt.Sprintf("t%d", i), ds...)
+		}
+	}
+	// Cancel a deterministic subset: some up front, some from inside
+	// events so the cancel can land while the victim is staged mid-batch.
+	for i, hd := range handles {
+		switch i % 3 {
+		case 0:
+			hd.Cancel()
+		case 1:
+			victim := hd
+			if _, err := h.s.At(time.Duration(rng.Intn(50))*time.Millisecond, func() { victim.Cancel() }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// runSchedule executes a seeded workload at the given drain parallelism and
+// returns the trace plus final observable state.
+func runSchedule(t *testing.T, seed int64, workers int, drive func(*Scheduler)) ([]string, [64]int, uint64, time.Duration) {
+	var s Scheduler
+	s.SetDrainParallelism(workers)
+	h := &harness{s: &s, rng: rand.New(rand.NewSource(seed * 7))}
+	buildSchedule(t, h, seed)
+	drive(&s)
+	return h.trace, h.state, s.Fired(), s.Now()
+}
+
+// drives for runSchedule: a plain window run and a batched-limit loop.
+func driveWindow(s *Scheduler) { s.RunUntil(60 * time.Millisecond) }
+func driveLimit(s *Scheduler) {
+	for s.RunUntilLimit(60*time.Millisecond, 7) {
+	}
+}
+
+// TestDrainEquivalence is the batched≡serial property test: fuzzed event
+// schedules with mixed domains, same-timestamp pileups, mid-batch
+// invalidations and staged cancels must produce byte-identical traces,
+// state, fired counts and clocks at drain parallelism 1, 2 and 8 — under
+// both an unbounded window drive and a small-limit batch drive.
+func TestDrainEquivalence(t *testing.T) {
+	drives := []struct {
+		name string
+		fn   func(*Scheduler)
+	}{{"window", driveWindow}, {"limit", driveLimit}}
+	for _, drive := range drives {
+		drive := drive
+		t.Run(drive.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				refTrace, refState, refFired, refNow := runSchedule(t, seed, 1, drive.fn)
+				for _, workers := range []int{2, 8} {
+					trace, state, fired, now := runSchedule(t, seed, workers, drive.fn)
+					if fired != refFired {
+						t.Fatalf("seed %d workers %d: fired %d, want %d", seed, workers, fired, refFired)
+					}
+					if now != refNow {
+						t.Fatalf("seed %d workers %d: clock %v, want %v", seed, workers, now, refNow)
+					}
+					if state != refState {
+						t.Fatalf("seed %d workers %d: state diverged", seed, workers)
+					}
+					if len(trace) != len(refTrace) {
+						t.Fatalf("seed %d workers %d: trace length %d, want %d", seed, workers, len(trace), len(refTrace))
+					}
+					for i := range trace {
+						if trace[i] != refTrace[i] {
+							t.Fatalf("seed %d workers %d: trace[%d] = %q, want %q", seed, workers, i, trace[i], refTrace[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDrainHaltEquivalence checks a Halt fired from inside a batch leaves
+// the scheduler in exactly the serial state: same clock, same pending set,
+// and an identical continuation when resumed.
+func TestDrainHaltEquivalence(t *testing.T) {
+	build := func(workers int) (*Scheduler, *[]string) {
+		var s Scheduler
+		s.SetDrainParallelism(workers)
+		h := &harness{s: &s, rng: rand.New(rand.NewSource(11))}
+		var log []string
+		prep := h.prep
+		for i := 0; i < 20; i++ {
+			i := i
+			at := time.Duration(i/5) * time.Millisecond // pileups of 5
+			if _, err := s.AtTagged(at, domainClaims(i), prep, 0, -1, func() {
+				log = append(log, fmt.Sprintf("e%d@%v", i, s.Now()))
+				if i == 7 {
+					s.Halt()
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return &s, &log
+	}
+	ref, refLog := build(1)
+	ref.RunUntil(time.Second)
+	refHaltLen, refHaltPend, refHaltNow := len(*refLog), ref.Pending(), ref.Now()
+	ref.RunUntil(time.Second)
+
+	for _, workers := range []int{2, 8} {
+		s, log := build(workers)
+		s.RunUntil(time.Second)
+		if len(*log) != refHaltLen || s.Pending() != refHaltPend || s.Now() != refHaltNow {
+			t.Fatalf("workers %d halt state: log %d pend %d now %v, want %d %d %v",
+				workers, len(*log), s.Pending(), s.Now(), refHaltLen, refHaltPend, refHaltNow)
+		}
+		s.RunUntil(time.Second)
+		if len(*log) != len(*refLog) {
+			t.Fatalf("workers %d resumed log %d, want %d", workers, len(*log), len(*refLog))
+		}
+		for i := range *log {
+			if (*log)[i] != (*refLog)[i] {
+				t.Fatalf("workers %d log[%d] = %q, want %q", workers, i, (*log)[i], (*refLog)[i])
+			}
+		}
+	}
+}
+
+// TestDrainStagedCancel pins the staged-cancel semantics directly: an event
+// cancelled while staged in a batch never fires, is not counted as fired,
+// and double-cancel of a staged event reports not-pending.
+func TestDrainStagedCancel(t *testing.T) {
+	var s Scheduler
+	s.SetDrainParallelism(2)
+	prep := func(int, time.Duration, Claims, int32, int32) {}
+	ran := false
+	var victim Handle
+	// The canceller is scheduled first (lowest seq), so it commits while
+	// the victim sits staged behind it in the same batch.
+	if _, err := s.AtTagged(time.Millisecond, domainClaims(1), prep, 0, -1, func() {
+		before := s.Pending()
+		if !victim.Cancel() {
+			t.Error("staged victim should be cancellable")
+		}
+		if got := s.Pending(); got != before-1 {
+			t.Errorf("Pending after staged cancel = %d, want %d", got, before-1)
+		}
+		if victim.Cancel() {
+			t.Error("second staged cancel should report not pending")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	victim, err = s.AtTagged(time.Millisecond, domainClaims(2), prep, 0, -1, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 3; d <= 5; d++ {
+		if _, err := s.AtTagged(time.Millisecond, domainClaims(d), prep, 0, -1, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(time.Second)
+	if ran {
+		t.Fatal("victim cancelled while staged still fired")
+	}
+	if got, want := s.Fired(), uint64(4); got != want {
+		t.Fatalf("Fired = %d, want %d (cancelled staged event must not count)", got, want)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0 (staged-cancel accounting leak)", got)
+	}
+}
+
+// TestDrainReexecOnInvalidation checks the generation-snapshot guard: a
+// commit that calls InvalidateReads forces later staged events' prepares to
+// re-execute serially, observable via DrainStats.Reexecs.
+func TestDrainReexecOnInvalidation(t *testing.T) {
+	var s Scheduler
+	s.SetDrainParallelism(4)
+	prep := func(int, time.Duration, Claims, int32, int32) {}
+	for i := 0; i < 8; i++ {
+		i := i
+		if _, err := s.AtTagged(time.Millisecond, domainClaims(i), prep, 0, -1, func() {
+			if i == 0 {
+				s.InvalidateReads()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(time.Second)
+	st := s.DrainStats()
+	if st.Batches == 0 || st.BatchedEvents != 8 {
+		t.Fatalf("expected one 8-event batch, got %+v", st)
+	}
+	if st.Reexecs != 7 {
+		t.Fatalf("Reexecs = %d, want 7 (every staged event after the invalidating commit)", st.Reexecs)
+	}
+}
+
+// TestDrainConflictBreaksBatch checks overlapping claims split batches: the
+// conflicting event executes in a later batch, still in canonical order.
+func TestDrainConflictDefersEvent(t *testing.T) {
+	var s Scheduler
+	s.SetDrainParallelism(2)
+	prep := func(int, time.Duration, Claims, int32, int32) {}
+	var order []int
+	add := func(i int, ds ...int) {
+		if _, err := s.AtTagged(time.Millisecond, domainClaims(ds...), prep, 0, -1, func() {
+			order = append(order, i)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(0, 1)
+	add(1, 2)
+	add(2, 3)
+	add(3, 4)
+	add(4, 2, 5) // conflicts with event 1: deferred, commits serially in place
+	add(5, 6)
+	s.RunUntil(time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d (canonical order must survive deferral)", i, got, i)
+		}
+	}
+	// Formation passes over the conflicting event and keeps collecting, so
+	// the five disjoint events prepare as one batch and the conflicting one
+	// commits serially between its neighbors via the interleave path.
+	st := s.DrainStats()
+	if st.Batches != 1 || st.BatchedEvents != 5 {
+		t.Fatalf("expected one batch of the 5 disjoint events, got %+v", st)
+	}
+	if st.SerialEvents != 1 {
+		t.Fatalf("expected the conflicting event to commit serially, got %+v", st)
+	}
+}
+
+// TestDrainSerialZeroAlloc is the satellite guard: with DrainParallelism 1
+// the drain machinery must cost nothing — the schedule/fire churn through
+// AtTagged stays 0 allocs/op, identical to plain At.
+func TestDrainSerialZeroAlloc(t *testing.T) {
+	var s Scheduler
+	s.SetDrainParallelism(1)
+	prep := func(int, time.Duration, Claims, int32, int32) {}
+	fn := func() {}
+	claims := domainClaims(1, 2)
+	// Warm the pool and the heap slice.
+	for i := 0; i < 256; i++ {
+		if _, err := s.AtTagged(time.Duration(i)*time.Microsecond, claims, prep, 1, 2, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.AtTagged(s.Now()+time.Duration(i%7)*time.Microsecond, claims, prep, 1, 2, fn); err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntilLimit(s.Now()+10*time.Microsecond, 4)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("serial tagged drain allocates %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestDrainPendingNextAtMidBatch checks the queue-introspection surface
+// stays exact while a batch is in flight: an event observing the scheduler
+// mid-commit sees the same Pending count and NextAt as the serial run.
+func TestDrainPendingNextAtMidBatch(t *testing.T) {
+	type obs struct {
+		pend int
+		at   time.Duration
+		ok   bool
+	}
+	run := func(workers int) []obs {
+		var s Scheduler
+		s.SetDrainParallelism(workers)
+		prep := func(int, time.Duration, Claims, int32, int32) {}
+		var seen []obs
+		for i := 0; i < 6; i++ {
+			if _, err := s.AtTagged(time.Millisecond, domainClaims(i), prep, 0, -1, func() {
+				at, ok := s.NextAt()
+				seen = append(seen, obs{pend: s.Pending(), at: at, ok: ok})
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := s.At(2*time.Millisecond, func() {}); err != nil {
+			t.Fatal(err)
+		}
+		s.RunUntil(time.Second)
+		return seen
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if len(got) != len(ref) {
+			t.Fatalf("workers %d: %d observations, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers %d obs[%d] = %+v, want %+v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// FuzzDESOrdering pins the heap's pop order against a reference sort: for
+// any fuzzed schedule, events pop in strictly ascending (timestamp,
+// sequence) order and same-timestamp events preserve insertion order. The
+// batched drain's canonical commit order is built on exactly this
+// guarantee.
+func FuzzDESOrdering(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0))
+	f.Add([]byte{0, 0, 0, 0, 0, 0}, uint8(3))
+	f.Add([]byte{255, 1, 255, 1, 128, 7, 9}, uint8(5))
+	f.Fuzz(func(t *testing.T, ats []byte, cancelMask uint8) {
+		if len(ats) > 256 {
+			ats = ats[:256]
+		}
+		var s Scheduler
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var want []rec
+		var got []rec
+		var handles []Handle
+		for i, b := range ats {
+			i, at := i, time.Duration(b)*time.Millisecond
+			h, err := s.At(at, func() { got = append(got, rec{at: at, seq: i}) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+			want = append(want, rec{at: at, seq: i})
+		}
+		// Cancel a mask-selected subset to fuzz heap removals too.
+		cancelled := make(map[int]bool)
+		for i := range handles {
+			if cancelMask&(1<<(i%8)) != 0 && i%3 == 0 {
+				cancelled[i] = true
+				handles[i].Cancel()
+			}
+		}
+		// Reference: stable sort by timestamp keeps insertion (seq) order
+		// within ties.
+		kept := want[:0]
+		for _, r := range want {
+			if !cancelled[r.seq] {
+				kept = append(kept, r)
+			}
+		}
+		for i := 1; i < len(kept); i++ {
+			for j := i; j > 0 && kept[j].at < kept[j-1].at; j-- {
+				kept[j], kept[j-1] = kept[j-1], kept[j]
+			}
+		}
+		s.Run()
+		if len(got) != len(kept) {
+			t.Fatalf("popped %d events, want %d", len(got), len(kept))
+		}
+		for i := range kept {
+			if got[i] != kept[i] {
+				t.Fatalf("pop[%d] = %+v, want %+v (heap order must match the reference sort)", i, got[i], kept[i])
+			}
+		}
+	})
+}

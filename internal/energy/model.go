@@ -63,9 +63,9 @@ func (m PaperModel) FlatCosts(bits int) (tx, rx float64, ok bool) {
 // d₀ = sqrt(EFs/EMp) ≈ 87.7 m sits below the 100 m default sensor range,
 // so both propagation regimes are exercised.
 const (
-	DefaultEElec = 50e-9       // J/bit — Tx/Rx electronics
-	DefaultEFs   = 10e-12      // J/bit/m² — free-space amplifier (d < d₀)
-	DefaultEMp   = 0.0013e-12  // J/bit/m⁴ — multipath amplifier (d ≥ d₀)
+	DefaultEElec = 50e-9      // J/bit — Tx/Rx electronics
+	DefaultEFs   = 10e-12     // J/bit/m² — free-space amplifier (d < d₀)
+	DefaultEMp   = 0.0013e-12 // J/bit/m⁴ — multipath amplifier (d ≥ d₀)
 )
 
 // RadioModel is the first-order radio energy model (LEACH/HEACT):

@@ -25,11 +25,13 @@ import (
 // order is fixed by the struct definition, so the JSON encoding is
 // deterministic. The Trace recorder pointer is reduced to its presence —
 // attaching a recorder changes Stats.Trace counts in the Result, so traced
-// and untraced runs must not share a cache entry. RunParallelism is
-// deliberately excluded, exactly like the sweep-level Parallelism in
-// canonicalFigure: results are byte-identical modulo StripWallClock at any
-// shard count (pinned by TestRunParallelismInvariance), so sharded and
-// sequential runs of one config share a cache entry.
+// and untraced runs must not share a cache entry. RunParallelism and
+// DrainParallelism are deliberately excluded, exactly like the sweep-level
+// Parallelism in canonicalFigure: results are byte-identical modulo
+// StripWallClock at any shard count (pinned by TestRunParallelismInvariance)
+// and any drain worker count (pinned by TestDrainParallelismInvariance), so
+// sharded, batched-drain and sequential runs of one config all share a
+// cache entry.
 type canonicalRun struct {
 	System           string          `json:"system"`
 	Scenario         scenario.Params `json:"scenario"`
@@ -102,10 +104,11 @@ func ConfigKey(cfg RunConfig) (string, error) {
 }
 
 // canonicalFigure is the serialized form OptionsKey hashes. Parallelism,
-// RunParallelism and Progress are deliberately excluded: figure output is
-// byte-identical at any sweep worker count (pinned by
-// TestParallelismInvariance) and at any in-run shard count (pinned by
-// TestRunParallelismInvariance), and a progress callback observes a build
+// RunParallelism, DrainParallelism and Progress are deliberately excluded:
+// figure output is byte-identical at any sweep worker count (pinned by
+// TestParallelismInvariance), any in-run shard count (pinned by
+// TestRunParallelismInvariance) and any DES drain worker count (pinned by
+// TestDrainFigureInvariance), and a progress callback observes a build
 // without changing it.
 type canonicalFigure struct {
 	Figure           string          `json:"figure"`

@@ -110,9 +110,9 @@ var systemBuilders = map[string]func(w *world.World) System{
 	// itself is attached by runObserved after Build (it needs the run's
 	// effective spec, not just the system name).
 	SystemREFERRecovery: func(w *world.World) System { return core.New(w, core.DefaultConfig()) },
-	SystemDaTree:       func(w *world.World) System { return datree.New(w, datree.DefaultConfig()) },
-	SystemDDEAR:        func(w *world.World) System { return ddear.New(w, ddear.DefaultConfig()) },
-	SystemKautzOverlay: func(w *world.World) System { return kautzoverlay.New(w, kautzoverlay.DefaultConfig()) },
+	SystemDaTree:        func(w *world.World) System { return datree.New(w, datree.DefaultConfig()) },
+	SystemDDEAR:         func(w *world.World) System { return ddear.New(w, ddear.DefaultConfig()) },
+	SystemKautzOverlay:  func(w *world.World) System { return kautzoverlay.New(w, kautzoverlay.DefaultConfig()) },
 }
 
 // NewSystem constructs the named (unbuilt) system on w.
@@ -194,6 +194,14 @@ type RunConfig struct {
 	// knob is excluded from ConfigKey. Values outside [0, MaxParallelism]
 	// are a config error.
 	RunParallelism int
+	// DrainParallelism sets the DES batched-drain worker count for the run
+	// (world.SetDrainParallelism): conflict-free radio completions are
+	// batched and their neighbor caches warmed in parallel, while every
+	// decision still commits serially in canonical order. 0 or 1 keeps the
+	// classic serial drain. Results are byte-identical at every setting, so
+	// — exactly like RunParallelism — the knob is excluded from ConfigKey.
+	// Values outside [0, MaxParallelism] are a config error.
+	DrainParallelism int
 	// Recovery configures the self-healing actuator-recovery protocols
 	// (see recovery.Spec): corner re-election, cell merge and CAN zone
 	// takeover, driven by a periodic detection sweep on the DES. The zero
@@ -338,6 +346,21 @@ type RunStats struct {
 	MembershipPhaseNs int64 `json:"membership_phase_ns"`
 	CellPhaseNs       int64 `json:"cell_phase_ns"`
 	MergeNs           int64 `json:"merge_ns"`
+	// Batched-drain observability (RunConfig.DrainParallelism > 1; all zero
+	// on the serial path): batches formed, events committed through them vs
+	// serial-stepped, prepares re-executed after a read-set invalidation,
+	// host nanoseconds spent in parallel prepare phases, and the neighbor
+	// cache warms performed/consumed. Like ShardRounds these intentionally
+	// differ across DrainParallelism settings of the same config, so
+	// StripWallClock zeroes all seven and replay comparisons across drain
+	// settings stay bitwise.
+	DrainBatches       uint64 `json:"drain_batches"`
+	DrainBatchedEvents uint64 `json:"drain_batched_events"`
+	DrainSerialEvents  uint64 `json:"drain_serial_events"`
+	DrainReexecs       uint64 `json:"drain_reexecs"`
+	DrainPrepNs        int64  `json:"drain_prep_ns"`
+	DrainWarms         uint64 `json:"drain_warms"`
+	DrainWarmHits      uint64 `json:"drain_warm_hits"`
 	// Recovery holds the self-healing counters when a recovery manager was
 	// attached (detection sweeps, re-elections, merges, takeovers and the
 	// accumulated virtual detection→repair latency); zero otherwise. All
@@ -357,6 +380,13 @@ func (s RunStats) StripWallClock() RunStats {
 	s.MembershipPhaseNs = 0
 	s.CellPhaseNs = 0
 	s.MergeNs = 0
+	s.DrainBatches = 0
+	s.DrainBatchedEvents = 0
+	s.DrainSerialEvents = 0
+	s.DrainReexecs = 0
+	s.DrainPrepNs = 0
+	s.DrainWarms = 0
+	s.DrainWarmHits = 0
 	return s
 }
 
@@ -426,6 +456,9 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 		return Result{}, err
 	}
 	if err := validParallelism("RunConfig.RunParallelism", cfg.RunParallelism); err != nil {
+		return Result{}, err
+	}
+	if err := validParallelism("RunConfig.DrainParallelism", cfg.DrainParallelism); err != nil {
 		return Result{}, err
 	}
 	start := time.Now()
@@ -504,7 +537,10 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 			for p := 0; p < cfg.PacketsPerSource; p++ {
 				delay := time.Duration(p) * cfg.PacketSpacing
 				src := src
-				if _, err := w.Sched.After(delay, func() {
+				// AfterNode declares the injection single-node so the
+				// batched drain can pre-warm the source's neighborhood;
+				// the injection itself still commits serially.
+				if _, err := w.AfterNode(delay, src, func() {
 					created := w.Now()
 					collector.Created(created)
 					sys.Inject(src, func(ok bool) {
@@ -562,6 +598,11 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 		}
 	}
 
+	// Enable the batched drain last, after every AddNode (the scenario
+	// build and the overlay construction above): a later AddNode would
+	// invalidate the claim-tile geometry and silently turn tagging off.
+	w.SetDrainParallelism(cfg.DrainParallelism)
+
 	// Grace period lets in-flight packets from the window's tail arrive.
 	// Batched so cancellation is honored mid-simulation.
 	simEnd := end + 2*time.Second
@@ -603,6 +644,14 @@ func runObserved(ctx context.Context, cfg RunConfig, observe func(RunProgress)) 
 	if secs := stats.WallClock.Seconds(); secs > 0 {
 		stats.EventsPerSec = float64(stats.DESEvents) / secs
 	}
+	ds := w.Sched.DrainStats()
+	stats.DrainBatches = ds.Batches
+	stats.DrainBatchedEvents = ds.BatchedEvents
+	stats.DrainSerialEvents = ds.SerialEvents
+	stats.DrainReexecs = ds.Reexecs
+	stats.DrainPrepNs = ds.PrepNs
+	stats.DrainWarms = ws.DrainWarms
+	stats.DrainWarmHits = ws.DrainWarmHits
 	if recMgr != nil {
 		stats.Recovery = recMgr.Stats()
 	}

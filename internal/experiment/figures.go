@@ -45,6 +45,14 @@ type Options struct {
 	// excluded from OptionsKey exactly like Parallelism. Values outside
 	// [0, MaxParallelism] are a config error.
 	RunParallelism int
+	// DrainParallelism sets the DES batched-drain worker count inside each
+	// run (RunConfig.DrainParallelism): the third parallelism layer, below
+	// Parallelism (across runs) and RunParallelism (maintenance shards
+	// within a run) — it overlaps the event queue's own conflict-free work.
+	// Results are byte-identical at every setting, so the knob is excluded
+	// from OptionsKey exactly like the other two. Values outside
+	// [0, MaxParallelism] are a config error.
+	DrainParallelism int
 	// Progress, when non-nil, receives one event after every completed
 	// simulation run of a sweep. Calls are serialized (never concurrent)
 	// and delivered in completion order on a dedicated goroutine, so a
@@ -139,6 +147,16 @@ type SweepStats struct {
 	MembershipPhaseNs int64  `json:"membership_phase_ns"`
 	CellPhaseNs       int64  `json:"cell_phase_ns"`
 	MergeNs           int64  `json:"merge_ns"`
+	// Batched-drain totals summed across runs (zero unless
+	// DrainParallelism > 1). Host-execution detail like the shard
+	// counters: cached-figure comparisons zero them alongside WallClock.
+	DrainBatches       uint64 `json:"drain_batches"`
+	DrainBatchedEvents uint64 `json:"drain_batched_events"`
+	DrainSerialEvents  uint64 `json:"drain_serial_events"`
+	DrainReexecs       uint64 `json:"drain_reexecs"`
+	DrainPrepNs        int64  `json:"drain_prep_ns"`
+	DrainWarms         uint64 `json:"drain_warms"`
+	DrainWarmHits      uint64 `json:"drain_warm_hits"`
 	// Recovery sums the runs' self-healing counters; zero unless a recovery
 	// manager was attached. Deterministic per Options (virtual-time
 	// latencies), unlike the shard counters above.
@@ -159,6 +177,13 @@ func (s *SweepStats) accumulate(r RunStats) {
 	s.MembershipPhaseNs += r.MembershipPhaseNs
 	s.CellPhaseNs += r.CellPhaseNs
 	s.MergeNs += r.MergeNs
+	s.DrainBatches += r.DrainBatches
+	s.DrainBatchedEvents += r.DrainBatchedEvents
+	s.DrainSerialEvents += r.DrainSerialEvents
+	s.DrainReexecs += r.DrainReexecs
+	s.DrainPrepNs += r.DrainPrepNs
+	s.DrainWarms += r.DrainWarms
+	s.DrainWarmHits += r.DrainWarmHits
 	s.Recovery.Add(r.Recovery)
 }
 
@@ -293,6 +318,9 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 	if err := validParallelism("Options.RunParallelism", o.RunParallelism); err != nil {
 		return Figure{}, err
 	}
+	if err := validParallelism("Options.DrainParallelism", o.DrainParallelism); err != nil {
+		return Figure{}, err
+	}
 	o = o.withDefaults()
 	type cell struct {
 		sys string
@@ -329,6 +357,9 @@ func sweep(ctx context.Context, o Options, xs []float64, configure func(x float6
 				}
 				if cfg.RunParallelism == 0 {
 					cfg.RunParallelism = o.RunParallelism
+				}
+				if cfg.DrainParallelism == 0 {
+					cfg.DrainParallelism = o.DrainParallelism
 				}
 				jobs = append(jobs, job{cfg: cfg, cell: cell{sys: sys, x: xi}, x: x})
 			}

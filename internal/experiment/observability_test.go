@@ -272,6 +272,7 @@ func TestRegistryContents(t *testing.T) {
 		"E1": KindExtension, "E2": KindExtension, "E3": KindExtension,
 		"L1": KindExtension, "L2": KindExtension, "L3": KindExtension,
 		"S1": KindScale, "S2": KindScale, "S3": KindScale, "S4": KindScale,
+		"S5": KindScale,
 		"R1": KindRecovery, "R2": KindRecovery,
 	}
 	if len(specs) != len(wantKinds) {

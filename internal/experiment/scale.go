@@ -98,6 +98,55 @@ func frontierSweep(ctx context.Context, o Options, pick func(Result) float64) (F
 	return fig, err
 }
 
+// drainXs are the heavy-traffic frontier sizes of the S5 study: large
+// enough that per-hop neighbor-cache rebuilds dominate the run, small
+// enough to finish without the 100k point's hours.
+var drainXs = []float64{20000, 50000}
+
+// drainSweep runs the S5 grid: REFER alone over mobile heavy-traffic
+// frontier deployments — the workload the DES batched drain accelerates.
+// MaxSpeed 5 (the paper's cap) keeps neighbor caches churning so per-hop
+// rebuilds dominate, and the dense burst traffic piles conflict-free radio
+// completions into drainable windows. The plotted delivery ratio is
+// byte-identical at any DrainParallelism (the knob is excluded from
+// OptionsKey); whole-run wall-clock scaling across worker counts is
+// measured by refer-bench's drain_parallel macro instead.
+func drainSweep(ctx context.Context, o Options, pick func(Result) float64) (Figure, error) {
+	if len(o.Systems) == 0 {
+		o.Systems = []string{SystemREFER}
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1} // one seed: points are single giant runs
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 20 * time.Second
+	}
+	if o.Duration == 0 {
+		o.Duration = 60 * time.Second
+	}
+	if o.DrainParallelism == 0 {
+		o.DrainParallelism = defaultParallelism()
+	}
+	o = o.withDefaults()
+	fig, err := sweep(ctx, o, drainXs, func(x float64, seed int64) RunConfig {
+		return RunConfig{
+			// A burst every second from 64 sources — an order of magnitude
+			// above the paper's offered load — so forwarding, not protocol
+			// upkeep, is the run's dominant cost.
+			Sources:       64,
+			BurstInterval: time.Second,
+			Scenario: scenario.Params{
+				Seed:         seed,
+				Sensors:      int(x),
+				MaxSpeed:     5,
+				ActuatorGrid: gridFor(x),
+			},
+		}
+	}, pick)
+	fig.XLabel = "sensors"
+	return fig, err
+}
+
 // FigS1 builds the growth-study delivery-ratio figure.
 func FigS1(o Options) (Figure, error) { return buildByID(context.Background(), "S1", o) }
 
@@ -109,6 +158,10 @@ func FigS3(o Options) (Figure, error) { return buildByID(context.Background(), "
 
 // FigS4 builds the growth-frontier delivery figure (20k–100k sensors).
 func FigS4(o Options) (Figure, error) { return buildByID(context.Background(), "S4", o) }
+
+// FigS5 builds the heavy-traffic frontier delivery figure (batched-drain
+// workload).
+func FigS5(o Options) (Figure, error) { return buildByID(context.Background(), "S5", o) }
 
 func growthDelivery(ctx context.Context, o Options) (Figure, error) {
 	fig, err := growthSweep(ctx, o, func(r Result) float64 {
@@ -135,6 +188,17 @@ func growthMaintainCost(ctx context.Context, o Options) (Figure, error) {
 
 func frontierDelivery(ctx context.Context, o Options) (Figure, error) {
 	fig, err := frontierSweep(ctx, o, func(r Result) float64 {
+		if r.Created == 0 {
+			return 0
+		}
+		return float64(r.Delivered) / float64(r.Created)
+	})
+	fig.YLabel = "delivery ratio"
+	return fig, err
+}
+
+func drainDelivery(ctx context.Context, o Options) (Figure, error) {
+	fig, err := drainSweep(ctx, o, func(r Result) float64 {
 		if r.Created == 0 {
 			return 0
 		}

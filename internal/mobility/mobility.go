@@ -17,11 +17,21 @@ import (
 
 // Model yields a node's position at any virtual time.
 type Model interface {
-	// At returns the node's position at time t. Calls must use
-	// non-decreasing t across the life of the model; the random-waypoint
-	// model lazily extends its itinerary as the clock advances.
+	// At returns the node's position at time t. The clock may advance
+	// freely and step backwards by a bounded amount: after a call At(t),
+	// later calls must satisfy t' >= t - RetentionHorizon. The
+	// random-waypoint model lazily extends its itinerary as the clock
+	// advances and retains at least that much history. The batched DES
+	// drain relies on the backtracking allowance — prepares sample
+	// positions up to its lookahead window (a few milliseconds) ahead of
+	// events the commit loop then executes at the earlier present.
 	At(t time.Duration) geo.Point
 }
+
+// RetentionHorizon is how far behind the latest sampled time a Model must
+// keep answering At exactly. It is orders of magnitude larger than the DES
+// drain's lookahead window, the only source of backwards time steps.
+const RetentionHorizon = time.Second
 
 // SpeedBounded is implemented by models that can bound how fast they move.
 // The simulator uses the bound to quantize spatial-index rebuilds: a world
@@ -132,8 +142,17 @@ func (w *Waypoint) extend() {
 		dur = time.Millisecond
 	}
 	w.legs = append(w.legs, leg{start: begin, from: at, to: dest, duration: dur})
-	// Bound memory for very long runs: drop legs that ended long ago.
+	// Bound memory for very long runs, but honor the Model contract's
+	// bounded backtracking: only drop legs that ended more than
+	// RetentionHorizon before the itinerary head, so At stays exact for
+	// any t the DES drain's lookahead can revisit.
 	if len(w.legs) > 64 {
-		w.legs = append(w.legs[:0], w.legs[32:]...)
+		cut := 0
+		for cut < len(w.legs)-1 && w.legs[cut].start+w.legs[cut].duration+RetentionHorizon < begin {
+			cut++
+		}
+		if cut > 0 {
+			w.legs = append(w.legs[:0], w.legs[cut:]...)
+		}
 	}
 }

@@ -164,6 +164,16 @@ type Server struct {
 	shardMembershipNs atomic.Int64
 	shardCellNs       atomic.Int64
 	shardMergeNs      atomic.Int64
+	// Batched-drain counters, accumulated like the shard counters: host-
+	// execution detail stripped from stored results, totalled here for
+	// /metrics.
+	drainBatches       atomic.Uint64
+	drainBatchedEvents atomic.Uint64
+	drainSerialEvents  atomic.Uint64
+	drainReexecs       atomic.Uint64
+	drainPrepNs        atomic.Int64
+	drainWarms         atomic.Uint64
+	drainWarmHits      atomic.Uint64
 	// Recovery counters accumulated from every executed run. Unlike the
 	// shard counters these are deterministic virtual-time results, so they
 	// survive result stripping; /metrics still aggregates them for fleet
@@ -514,6 +524,13 @@ func (s *Server) execute(r *run) {
 		s.shardMembershipNs.Add(res.Stats.MembershipPhaseNs)
 		s.shardCellNs.Add(res.Stats.CellPhaseNs)
 		s.shardMergeNs.Add(res.Stats.MergeNs)
+		s.drainBatches.Add(res.Stats.DrainBatches)
+		s.drainBatchedEvents.Add(res.Stats.DrainBatchedEvents)
+		s.drainSerialEvents.Add(res.Stats.DrainSerialEvents)
+		s.drainReexecs.Add(res.Stats.DrainReexecs)
+		s.drainPrepNs.Add(res.Stats.DrainPrepNs)
+		s.drainWarms.Add(res.Stats.DrainWarms)
+		s.drainWarmHits.Add(res.Stats.DrainWarmHits)
 		s.recoveryReelections.Add(uint64(res.Stats.Recovery.Reelections))
 		s.recoveryMerges.Add(uint64(res.Stats.Recovery.Merges))
 		s.recoveryTakeovers.Add(uint64(res.Stats.Recovery.Takeovers))
@@ -527,6 +544,13 @@ func (s *Server) execute(r *run) {
 		s.shardMembershipNs.Add(fig.Stats.MembershipPhaseNs)
 		s.shardCellNs.Add(fig.Stats.CellPhaseNs)
 		s.shardMergeNs.Add(fig.Stats.MergeNs)
+		s.drainBatches.Add(fig.Stats.DrainBatches)
+		s.drainBatchedEvents.Add(fig.Stats.DrainBatchedEvents)
+		s.drainSerialEvents.Add(fig.Stats.DrainSerialEvents)
+		s.drainReexecs.Add(fig.Stats.DrainReexecs)
+		s.drainPrepNs.Add(fig.Stats.DrainPrepNs)
+		s.drainWarms.Add(fig.Stats.DrainWarms)
+		s.drainWarmHits.Add(fig.Stats.DrainWarmHits)
 		s.recoveryReelections.Add(uint64(fig.Stats.Recovery.Reelections))
 		s.recoveryMerges.Add(uint64(fig.Stats.Recovery.Merges))
 		s.recoveryTakeovers.Add(uint64(fig.Stats.Recovery.Takeovers))
@@ -538,6 +562,15 @@ func (s *Server) execute(r *run) {
 		fig.Stats.MembershipPhaseNs = 0
 		fig.Stats.CellPhaseNs = 0
 		fig.Stats.MergeNs = 0
+		// The drain totals differ across drain_parallelism settings of one
+		// figure cache key, so they are stripped like the shard counters.
+		fig.Stats.DrainBatches = 0
+		fig.Stats.DrainBatchedEvents = 0
+		fig.Stats.DrainSerialEvents = 0
+		fig.Stats.DrainReexecs = 0
+		fig.Stats.DrainPrepNs = 0
+		fig.Stats.DrainWarms = 0
+		fig.Stats.DrainWarmHits = 0
 		s.desEvents.Add(fig.Stats.DESEvents)
 		s.finish(r, StateDone, nil, &fig, nil)
 	case cancelled || errors.Is(err, context.Canceled):
@@ -930,6 +963,13 @@ func (s *Server) MetricsSnapshot() Metrics {
 		ShardMembershipPhaseNs: s.shardMembershipNs.Load(),
 		ShardCellPhaseNs:       s.shardCellNs.Load(),
 		ShardMergeNs:           s.shardMergeNs.Load(),
+		DrainBatches:           s.drainBatches.Load(),
+		DrainBatchedEvents:     s.drainBatchedEvents.Load(),
+		DrainSerialEvents:      s.drainSerialEvents.Load(),
+		DrainReexecs:           s.drainReexecs.Load(),
+		DrainPrepNs:            s.drainPrepNs.Load(),
+		DrainWarms:             s.drainWarms.Load(),
+		DrainWarmHits:          s.drainWarmHits.Load(),
 		RecoveryReelections:    s.recoveryReelections.Load(),
 		RecoveryMerges:         s.recoveryMerges.Load(),
 		RecoveryTakeovers:      s.recoveryTakeovers.Load(),

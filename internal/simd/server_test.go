@@ -540,6 +540,14 @@ func TestServerValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("negative figure run_parallelism returned %d, want 400: %s", resp.StatusCode, data)
 	}
+	resp, data = postJSON(t, client, ts.URL+"/runs", RunRequest{DrainParallelism: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative drain_parallelism returned %d, want 400: %s", resp.StatusCode, data)
+	}
+	resp, data = postJSON(t, client, ts.URL+"/figures/4/runs", FigureRequest{DrainParallelism: 1 << 20})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("absurd figure drain_parallelism returned %d, want 400: %s", resp.StatusCode, data)
+	}
 	resp, data = postJSON(t, client, ts.URL+"/figures/4/runs", FigureRequest{Parallelism: 1 << 20})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("absurd figure parallelism returned %d, want 400: %s", resp.StatusCode, data)
@@ -655,6 +663,74 @@ func TestRunParallelismCacheAndMetrics(t *testing.T) {
 	}
 	if m.ShardMembershipPhaseNs < 0 || m.ShardCellPhaseNs <= 0 || m.ShardMergeNs <= 0 {
 		t.Fatalf("metrics phase timers not accumulated: %+v", m)
+	}
+}
+
+// TestDrainParallelismCacheAndMetrics pins the batched-drain contract at
+// the serving layer: drain_parallelism does not enter the cache key (a
+// batched run's result serves a serial resubmission), the stored result is
+// stripped of drain bookkeeping, and the server-side totals surface in
+// /metrics instead.
+func TestDrainParallelismCacheAndMetrics(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	client := ts.Client()
+
+	// A mobile bursty workload dense enough for the drain to actually form
+	// batches (the same shape TestDrainBatchedWorkloadInvariance pins).
+	batched := RunRequest{
+		Seed:           7,
+		Sensors:        2500,
+		MaxSpeed:       5,
+		ActuatorGrid:   6,
+		WarmupS:        2,
+		DurationS:      4,
+		Sources:        32,
+		BurstIntervalS: 0.5,
+	}
+	serial := batched
+	batched.DrainParallelism = 4
+	resp, data := postJSON(t, client, ts.URL+"/runs", batched)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit batched: %d: %s", resp.StatusCode, data)
+	}
+	var sub SubmitResponse
+	if err := json.Unmarshal(data, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, client, ts.URL, sub.ID); st.State != StateDone {
+		t.Fatalf("batched run ended %s", st.State)
+	}
+
+	// The cached stats must be stripped: byte-identical to a serial replay
+	// of the same key.
+	_, body := getBody(t, client, ts.URL+"/runs/"+sub.ID+"/result")
+	var res experiment.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DrainBatches != 0 || res.Stats.DrainWarms != 0 || res.Stats.DrainPrepNs != 0 {
+		t.Fatalf("stored result kept drain bookkeeping: %+v", res.Stats)
+	}
+
+	// Same submission without the drain knob hits the cache.
+	resp, data = postJSON(t, client, ts.URL+"/runs", serial)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d: %s", resp.StatusCode, data)
+	}
+	var again SubmitResponse
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Key != sub.Key {
+		t.Fatalf("serial resubmission missed the cache: %+v vs key %s", again, sub.Key)
+	}
+
+	m := s.MetricsSnapshot()
+	if m.DrainBatches == 0 || m.DrainBatchedEvents == 0 {
+		t.Fatalf("metrics drain counters not accumulated after a batched run: %+v", m)
+	}
+	if m.DrainWarms == 0 || m.DrainPrepNs <= 0 {
+		t.Fatalf("metrics drain warm/prep gauges not accumulated: %+v", m)
 	}
 }
 

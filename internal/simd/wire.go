@@ -67,6 +67,12 @@ type RunRequest struct {
 	// cache key — a latency knob, not a result knob. Must lie in
 	// [0, MaxParallelism].
 	RunParallelism int `json:"run_parallelism,omitempty"`
+	// DrainParallelism sets the run's DES batched-drain worker count
+	// (RunConfig.DrainParallelism): conflict-free radio events prepare in
+	// parallel while every decision commits serially in canonical order.
+	// Byte-identical output at any setting; excluded from the cache key
+	// like RunParallelism. Must lie in [0, MaxParallelism].
+	DrainParallelism int `json:"drain_parallelism,omitempty"`
 }
 
 // secs converts a seconds field, rejecting negatives.
@@ -97,6 +103,10 @@ func (r RunRequest) Config() (experiment.RunConfig, error) {
 		return experiment.RunConfig{}, fmt.Errorf("run_parallelism must be in [0, %d], got %d",
 			experiment.MaxParallelism, r.RunParallelism)
 	}
+	if r.DrainParallelism < 0 || r.DrainParallelism > experiment.MaxParallelism {
+		return experiment.RunConfig{}, fmt.Errorf("drain_parallelism must be in [0, %d], got %d",
+			experiment.MaxParallelism, r.DrainParallelism)
+	}
 	cfg := experiment.RunConfig{
 		System: r.System,
 		Scenario: scenario.Params{
@@ -115,6 +125,7 @@ func (r RunRequest) Config() (experiment.RunConfig, error) {
 		PacketsPerSource: r.PacketsPerSource,
 		FaultCount:       r.FaultCount,
 		RunParallelism:   r.RunParallelism,
+		DrainParallelism: r.DrainParallelism,
 	}
 	var err error
 	if cfg.Warmup, err = secs("warmup_s", r.WarmupS); err != nil {
@@ -174,8 +185,13 @@ type FigureRequest struct {
 	// the sweep (Options.RunParallelism). Byte-identical output at any
 	// setting; excluded from the cache key like Parallelism. Must lie in
 	// [0, MaxParallelism].
-	RunParallelism int             `json:"run_parallelism,omitempty"`
-	Chaos          *chaos.Schedule `json:"chaos,omitempty"`
+	RunParallelism int `json:"run_parallelism,omitempty"`
+	// DrainParallelism sets the DES batched-drain worker count inside each
+	// run of the sweep (Options.DrainParallelism). Byte-identical output at
+	// any setting; excluded from the cache key like Parallelism. Must lie
+	// in [0, MaxParallelism].
+	DrainParallelism int             `json:"drain_parallelism,omitempty"`
+	Chaos            *chaos.Schedule `json:"chaos,omitempty"`
 	// Energy optionally prices every run of the sweep with a cost model
 	// (same schema as RunConfig.Energy; see EXPERIMENTS.md).
 	Energy *energy.Spec `json:"energy,omitempty"`
@@ -203,6 +219,10 @@ func (r FigureRequest) Options() (experiment.Options, error) {
 		return experiment.Options{}, fmt.Errorf("run_parallelism must be in [0, %d], got %d",
 			experiment.MaxParallelism, r.RunParallelism)
 	}
+	if r.DrainParallelism < 0 || r.DrainParallelism > experiment.MaxParallelism {
+		return experiment.Options{}, fmt.Errorf("drain_parallelism must be in [0, %d], got %d",
+			experiment.MaxParallelism, r.DrainParallelism)
+	}
 	o := experiment.Options{
 		Seeds:            r.Seeds,
 		Sensors:          r.Sensors,
@@ -210,6 +230,7 @@ func (r FigureRequest) Options() (experiment.Options, error) {
 		PacketsPerSource: r.PacketsPerSource,
 		Parallelism:      r.Parallelism,
 		RunParallelism:   r.RunParallelism,
+		DrainParallelism: r.DrainParallelism,
 	}
 	var err error
 	if o.Warmup, err = secs("warmup_s", r.WarmupS); err != nil {
@@ -324,6 +345,19 @@ type Metrics struct {
 	ShardMembershipPhaseNs int64  `json:"shard_membership_phase_ns"`
 	ShardCellPhaseNs       int64  `json:"shard_cell_phase_ns"`
 	ShardMergeNs           int64  `json:"shard_merge_ns"`
+	// Batched-drain counters, accumulated across every executed run (before
+	// result stripping): prepared batches, events prepared in them, events
+	// the drain committed serially, prepares re-executed by the snapshot
+	// guard, cumulative host nanoseconds in parallel prepare phases, and
+	// neighbor-cache warms performed/consumed. All zero unless submissions
+	// set drain_parallelism > 1.
+	DrainBatches       uint64 `json:"drain_batches"`
+	DrainBatchedEvents uint64 `json:"drain_batched_events"`
+	DrainSerialEvents  uint64 `json:"drain_serial_events"`
+	DrainReexecs       uint64 `json:"drain_reexecs"`
+	DrainPrepNs        int64  `json:"drain_prep_ns"`
+	DrainWarms         uint64 `json:"drain_warms"`
+	DrainWarmHits      uint64 `json:"drain_warm_hits"`
 	// Recovery counters, accumulated across every executed run: completed
 	// corner re-elections, cell merges and CAN zone takeovers, plus the
 	// cumulative virtual detection→repair latency. All zero unless

@@ -1,0 +1,292 @@
+// Batched-drain integration: conflict claims and cache-warming prepares for
+// the des scheduler's parallel drain (see internal/des/drain.go and
+// DESIGN.md §13).
+//
+// The world's events decide at commit time — routing continuations draw
+// RNG, charge energy and mutate radio state when they fire — so the only
+// work a parallel prepare can safely do is semantics-free: warming the
+// per-node neighbor caches the committed event is about to query. Claims
+// are spatial tiles sized so that any unicast pair's read discs fit in at
+// most the four tiles of one 2×2 block. Claim discs are centered on the
+// endpoints' positions at the event's own timestamp — mobility models are
+// deterministic, so the execution-time position is known exactly at
+// scheduling time, and the only cap is the models' bounded-backtracking
+// horizon (mobility.RetentionHorizon) on how far ahead a position memo may
+// be advanced. Two events whose tile sets are disjoint provably touch
+// disjoint position memos and cache entries during the parallel phase:
+//
+//   - a prepare re-verifies, against the event's claims, the bounding box
+//     of the exact disc it will query — center at the endpoint's position
+//     at the event timestamp, radius range + index staleness slack — and
+//     skips the warm entirely on any miss, so candidate reads never
+//     escape the claimed tiles;
+//   - the slack itself is capped (maxWarmSlack < claimMargin), which keeps
+//     every candidate's *indexed* position inside the claimed region too,
+//     closing the endpoint-of-A/candidate-of-B overlap case.
+//
+// Skipped warms cost nothing but speed: the commit path recomputes the
+// neighborhood serially, exactly as without the drain.
+package world
+
+import (
+	"math"
+	"time"
+
+	"refer/internal/des"
+	"refer/internal/mobility"
+)
+
+const (
+	// claimMargin pads every claim disc so spatial-index staleness
+	// (maxWarmSlack) stays inside the claimed tiles. Kept tight: the margin
+	// inflates both the claim footprint (more tiles per claim → more
+	// conflicts → fewer events per batch) and the tile size itself, so
+	// padding beyond slack + headroom only costs concurrency.
+	claimMargin = 16.0
+	// maxWarmSlack caps the index staleness a prepare works under; beyond
+	// it the claims no longer provably cover the candidate read set, so
+	// the warm is skipped. Slightly above gridStaleTol (10 m) — the grid
+	// refreshes on the commit path once staleness passes that, so larger
+	// slack occurs only on long query gaps, where skipping the warm costs
+	// nothing. maxWarmSlack < claimMargin.
+	maxWarmSlack = 12.0
+)
+
+// SetDrainParallelism sets the DES drain worker count and, at 2 or more
+// workers, enables conflict tagging of the world's radio completion and
+// delivery events. Call it after every AddNode: the claim tile geometry is
+// derived from the modal radio range, and a later AddNode turns tagging
+// back off (the run then simply drains serially from that point on).
+// Values below 2 select the classic serial drain with zero overhead.
+func (w *World) SetDrainParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	w.Sched.SetDrainParallelism(n)
+	w.drainTag = false
+	if n < 2 {
+		return
+	}
+	// Tile size is a concurrency/coverage trade-off, not a correctness
+	// knob: claimBBox refuses any claim that does not fit a 2×2 tile block,
+	// and unfitting events simply drain serially. Sizing from the modal
+	// radio range — sensors, which dominate both population and traffic —
+	// makes every same-class in-range pair's union bbox fit one block
+	// unconditionally (width ≤ sep + 2·(r+claimMargin) ≤ 3r + 2·claimMargin
+	// = tileSize, and a bbox no wider than a tile crosses at most one
+	// boundary per axis) while keeping the tile grid fine enough for
+	// disjoint claims; pairs involving the rare longer-range nodes
+	// (actuators) fit only when geometry allows.
+	modalRange := 0.0
+	best := 0
+	counts := make(map[float64]int, 4)
+	for _, node := range w.nodes {
+		if node.Range <= 0 {
+			continue
+		}
+		counts[node.Range]++
+		c := counts[node.Range]
+		if c > best || (c == best && node.Range < modalRange) {
+			best, modalRange = c, node.Range
+		}
+	}
+	if modalRange <= 0 {
+		return
+	}
+	w.tileSize = 3*modalRange + 2*claimMargin
+	if len(w.warmScratch) < n {
+		w.warmScratch = make([][]int, n)
+	}
+	if w.prepFn == nil {
+		w.prepFn = w.warmPrep
+	}
+	w.drainTag = true
+}
+
+// DrainParallelism returns the configured drain worker count (minimum 1).
+func (w *World) DrainParallelism() int { return w.Sched.DrainParallelism() }
+
+// AfterNode schedules fn like Sched.After, additionally declaring that fn
+// only reads node id's neighborhood — the contract of traffic injection and
+// other single-node protocol timers. When drain tagging is on and the
+// declaration can be honored (delay within the mobility retention horizon,
+// claims fit one tile block), the event joins conflict-free batches;
+// otherwise this is exactly Sched.After.
+func (w *World) AfterNode(delay time.Duration, id NodeID, fn func()) (des.Handle, error) {
+	if delay < 0 {
+		delay = 0
+	}
+	at := w.Sched.Now() + delay
+	if w.drainTag {
+		if claims, ok := w.nodeClaims(id, at); ok {
+			return w.Sched.AtTagged(at, claims, w.prepFn, int32(id), -1, fn)
+		}
+	}
+	return w.Sched.At(at, fn)
+}
+
+// tileDomain packs a claim tile coordinate into a non-zero des.Domain: a
+// marker bit plus 31 bits per axis (tile coordinates are tiny — regions are
+// a few kilometers, tiles ~330 m).
+func tileDomain(tx, ty int) des.Domain {
+	return des.Domain(1)<<63 |
+		des.Domain(uint64(uint32(tx))&0x7FFFFFFF)<<31 |
+		des.Domain(uint64(uint32(ty))&0x7FFFFFFF)
+}
+
+// claimBBox returns the tiles overlapping the bbox as a claim set, or
+// ok=false when the bbox spans more than a 2×2 tile block.
+func (w *World) claimBBox(x0, y0, x1, y1 float64) (des.Claims, bool) {
+	t := w.tileSize
+	tx0 := int(math.Floor(x0 / t))
+	ty0 := int(math.Floor(y0 / t))
+	tx1 := int(math.Floor(x1 / t))
+	ty1 := int(math.Floor(y1 / t))
+	if tx1-tx0 > 1 || ty1-ty0 > 1 {
+		return des.Claims{}, false
+	}
+	var c des.Claims
+	i := 0
+	for tx := tx0; tx <= tx1; tx++ {
+		for ty := ty0; ty <= ty1; ty++ {
+			c[i] = tileDomain(tx, ty)
+			i++
+		}
+	}
+	return c, true
+}
+
+// claimable reports whether an event at virtual time at may carry claims at
+// all: tagging prerequisites present and the timestamp close enough that
+// advancing position memos to it now keeps every later query (at the
+// current clock and after) inside the models' bounded-backtracking window.
+// Carrier-sense queuing pushes completions well past the clock, so the
+// horizon — not event geometry — is the binding cap under congestion.
+func (w *World) claimable(at time.Duration) bool {
+	if !w.gridOK || w.borrowShadows != nil || w.tileSize <= 0 {
+		return false
+	}
+	return at-w.Sched.Now() <= mobility.RetentionHorizon
+}
+
+// sendClaims computes the claim set for a unicast completion event between
+// from and to at virtual time at: the tiles covering both endpoints'
+// padded radio discs at their execution-time positions (mobility is
+// deterministic, so those are exact). ok=false (untagged) when the event
+// runs further ahead than the memo retention horizon, the pair's bbox
+// exceeds one tile block, or tagging prerequisites are missing.
+func (w *World) sendClaims(from, to NodeID, at time.Duration) (des.Claims, bool) {
+	if !w.claimable(at) {
+		return des.Claims{}, false
+	}
+	nf, nt := w.nodes[from], w.nodes[to]
+	pf, pt := nf.Mob.At(at), nt.Mob.At(at)
+	rf, rt := nf.Range+claimMargin, nt.Range+claimMargin
+	return w.claimBBox(
+		math.Min(pf.X-rf, pt.X-rt), math.Min(pf.Y-rf, pt.Y-rt),
+		math.Max(pf.X+rf, pt.X+rt), math.Max(pf.Y+rf, pt.Y+rt),
+	)
+}
+
+// nodeClaims is sendClaims for a single-endpoint event (broadcast/flood
+// delivery, single-node timer).
+func (w *World) nodeClaims(id NodeID, at time.Duration) (des.Claims, bool) {
+	if !w.claimable(at) {
+		return des.Claims{}, false
+	}
+	n := w.nodes[id]
+	p := n.Mob.At(at)
+	r := n.Range + claimMargin
+	return w.claimBBox(p.X-r, p.Y-r, p.X+r, p.Y+r)
+}
+
+// warmPrep is the world's des.PrepFunc: warm the neighbor caches of the
+// event's declared endpoints (arg1 < 0 means single-endpoint). One shared
+// func value serves every tagged event.
+func (w *World) warmPrep(worker int, at time.Duration, claims des.Claims, a0, a1 int32) {
+	w.warmNode(worker, at, claims, NodeID(a0))
+	if a1 >= 0 {
+		w.warmNode(worker, at, claims, NodeID(a1))
+	}
+}
+
+// warmNode precomputes node id's neighborhood for virtual time at into its
+// cache entry, marked warmed rather than valid: the commit-time query
+// consumes it only when it matches exactly, and counts that consumption as
+// the rebuild the serial run would have performed — so the hit/rebuild
+// counters stay byte-identical at any drain parallelism.
+//
+// Everything read here is frozen during the parallel phase (grid, flags,
+// generations) or exclusively claimed (position memos, the cache entry);
+// the read-disc verification against claims is what makes the exclusivity
+// airtight. The warmed content is a pure function of (at, topology), so a
+// consume is byte-equivalent to a rebuild even if the grid epoch advanced
+// in between.
+func (w *World) warmNode(worker int, at time.Duration, claims des.Claims, id NodeID) {
+	if !w.gridOK || w.borrowShadows != nil {
+		return
+	}
+	c := &w.caches[id]
+	if c.valid && c.gen == w.topoGen && (c.at == at || w.maxSpeed == 0) {
+		// The commit-time query will hit this entry as-is; leave it
+		// untouched so the hit counter matches the serial run.
+		return
+	}
+	slack := 0.0
+	if at != w.gridAt {
+		slack = w.maxSpeed * (at - w.gridAt).Seconds()
+	}
+	if !(slack <= maxWarmSlack) { // NaN-safe: unbounded models never warm
+		return
+	}
+	n := w.nodes[id]
+	p := n.Mob.At(at)
+	r := n.Range + slack
+	cover, ok := w.claimBBox(p.X-r, p.Y-r, p.X+r, p.Y+r)
+	if !ok || !claims.Contains(cover) {
+		// Staleness pushed the actual read disc outside the schedule-time
+		// claims: skip, the commit path rebuilds serially.
+		return
+	}
+	sc := w.grid.Within(w.warmScratch[worker][:0], p, r, int(id))
+	w.warmScratch[worker] = sc
+	// From here this is exactly neighborCache's rebuild, against per-worker
+	// scratch and the entry's own buffers.
+	c.carrier = c.carrier[:0]
+	c.nb = c.nb[:0]
+	c.key = c.key[:0]
+	maxR2 := n.Range * n.Range
+	for _, i := range sc {
+		q := w.nodes[i].Mob.At(at)
+		dx, dy := q.X-p.X, q.Y-p.Y
+		if dx*dx+dy*dy > maxR2 {
+			continue
+		}
+		c.carrier = append(c.carrier, NodeID(i))
+		if p.Dist(q) > w.nodes[i].Range {
+			continue
+		}
+		k := w.grid.CellKey(q)
+		j := len(c.nb)
+		c.nb = append(c.nb, NodeID(i))
+		c.key = append(c.key, k)
+		for j > 0 && (c.key[j-1] > k || (c.key[j-1] == k && c.nb[j-1] > NodeID(i))) {
+			c.nb[j], c.key[j] = c.nb[j-1], c.key[j-1]
+			j--
+		}
+		c.nb[j], c.key[j] = NodeID(i), k
+	}
+	c.alive = c.alive[:0]
+	for _, nb := range c.nb {
+		if w.nodes[nb].Alive() {
+			c.alive = append(c.alive, nb)
+		}
+	}
+	c.aliveGen = w.aliveGen
+	c.aliveValid = true
+	c.gen = w.topoGen
+	c.warmAt = at
+	c.warmed = true
+	c.valid = false
+	w.drainWarms.Add(1)
+}

@@ -1,0 +1,233 @@
+package world
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"refer/internal/energy"
+	"refer/internal/geo"
+	"refer/internal/mobility"
+)
+
+// buildDrainWorld assembles the shared scenario for the drain tests: a
+// mobile sensor field dense enough for neighbor-directed traffic, sized so
+// the claim-tile grid has enough tiles for conflict-free batches to form
+// (tileSize ≈ 428 m over 1600 m ⇒ ~14 tiles).
+func buildDrainWorld(parallelism int) (*World, int) {
+	w := New(Config{Region: geo.Square(1600), Seed: 42, HopJitter: time.Millisecond})
+	rng := w.Rand()
+	const sensors = 490
+	for i := 0; i < sensors; i++ {
+		start := w.Config().Region.RandomPoint(rng)
+		w.AddNode(Sensor, mobility.NewWaypoint(w.Config().Region, start, 4.0, rng), 100, 0)
+	}
+	for i := 0; i < 4; i++ {
+		w.AddNode(Actuator, mobility.Static{P: geo.Point{X: 400 + 266*float64(i), Y: 800}}, 250, 0)
+	}
+	w.SetDrainParallelism(parallelism)
+	return w, sensors
+}
+
+// drainRun drives a mobile, fault-churned traffic mix at the given drain
+// parallelism and returns every observable the serial contract covers: an
+// ordered trace of all commit-time callbacks, the final clock and fired
+// count, the total energy, and the full Stats snapshot with the two
+// parallelism-dependent drain counters zeroed.
+func drainRun(parallelism int) (trace string, fired uint64, clock time.Duration, joules float64, st Stats) {
+	w, sensors := buildDrainWorld(parallelism)
+	rng := w.Rand()
+	w.SetLinkLoss(0.05)
+
+	var log strings.Builder
+	note := func(format string, args ...any) {
+		fmt.Fprintf(&log, format, args...)
+		log.WriteByte('\n')
+	}
+
+	// Bursty neighbor-directed traffic — the shape real routing produces,
+	// and the one that actually batches: same-window completions from
+	// senders far enough apart to claim disjoint tiles. Continuations
+	// query the receiver's neighborhood like a forwarding step would.
+	var tick func()
+	tick = func() {
+		for k := 0; k < 16; k++ {
+			from := NodeID(rng.Intn(sensors))
+			nbs := w.Neighbors(nil, from)
+			if len(nbs) == 0 {
+				continue
+			}
+			to := nbs[rng.Intn(len(nbs))]
+			w.Send(from, to, energy.Communication, func(o Outcome) {
+				next := w.AliveNeighbors(nil, to)
+				note("send %d->%d %v @%v next=%d", from, to, o, w.Now(), len(next))
+			})
+		}
+		if w.Now() < 4*time.Second {
+			w.AfterNode(50*time.Millisecond, NodeID(rng.Intn(sensors)), tick)
+		}
+	}
+	w.AfterNode(0, 0, tick)
+
+	// Periodic broadcasts and a flood mix multi-receiver tagged deliveries
+	// into the same windows.
+	var gossip func()
+	gossip = func() {
+		src := NodeID(rng.Intn(sensors))
+		n := w.Broadcast(src, energy.Communication, func(to NodeID) {
+			note("bcast %d->%d @%v", src, to, w.Now())
+		})
+		note("bcast %d reached %d", src, n)
+		if w.Now() < 4*time.Second {
+			w.Sched.After(300*time.Millisecond, gossip)
+		}
+	}
+	w.Sched.After(100*time.Millisecond, gossip)
+	w.Sched.After(2*time.Second, func() {
+		w.Flood(NodeID(rng.Intn(sensors)), 3, energy.Communication, func(id NodeID, hops int, _ []NodeID) bool {
+			note("flood visit %d hops=%d @%v", id, hops, w.Now())
+			return true
+		}, func() { note("flood done @%v", w.Now()) })
+	})
+
+	// Fault churn: untagged global events that invalidate alive read sets
+	// mid-run, forcing batch breaks and prep re-execution.
+	var churn func()
+	churn = func() {
+		id := NodeID(rng.Intn(sensors))
+		w.SetFailed(id, true)
+		note("fail %d @%v", id, w.Now())
+		func(id NodeID) {
+			w.Sched.After(400*time.Millisecond, func() {
+				w.SetFailed(id, false)
+				note("recover %d @%v", id, w.Now())
+			})
+		}(id)
+		if w.Now() < 3500*time.Millisecond {
+			w.Sched.After(250*time.Millisecond, churn)
+		}
+	}
+	w.Sched.After(500*time.Millisecond, churn)
+
+	// Drive with the limit-batched entry point the experiment layer uses.
+	for w.Sched.RunUntilLimit(5*time.Second, 512) {
+	}
+	st = w.Stats()
+	st.DrainWarms, st.DrainWarmHits = 0, 0
+	return log.String(), w.Sched.Fired(), w.Sched.Now(), w.TotalEnergy(energy.Communication), st
+}
+
+// TestDrainParallelEquivalence is the world-level determinism contract:
+// byte-identical traces, clocks, energy and stats at any drain parallelism.
+func TestDrainParallelEquivalence(t *testing.T) {
+	refTrace, refFired, refClock, refJoules, refStats := drainRun(1)
+	if refFired == 0 || !strings.Contains(refTrace, "delivered") {
+		t.Fatalf("reference run too quiet: fired=%d", refFired)
+	}
+	for _, p := range []int{2, 8} {
+		gotTrace, gotFired, gotClock, gotJoules, gotStats := drainRun(p)
+		if gotTrace != refTrace {
+			t.Fatalf("parallelism %d: trace diverged (ref %d bytes, got %d bytes):\n%s",
+				p, len(refTrace), len(gotTrace), firstDiff(refTrace, gotTrace))
+		}
+		if gotFired != refFired || gotClock != refClock {
+			t.Fatalf("parallelism %d: fired/clock %d/%v, want %d/%v", p, gotFired, gotClock, refFired, refClock)
+		}
+		if gotJoules != refJoules {
+			t.Fatalf("parallelism %d: energy %f, want %f", p, gotJoules, refJoules)
+		}
+		if gotStats != refStats {
+			t.Fatalf("parallelism %d: stats %+v, want %+v", p, gotStats, refStats)
+		}
+	}
+}
+
+// TestDrainWarmsActuallyHappen guards against the parallel path silently
+// degenerating to serial: the mobile traffic mix must form batches, warm
+// caches in parallel, and consume some of those warms at commit time.
+func TestDrainWarmsActuallyHappen(t *testing.T) {
+	w, sensors := buildDrainWorld(4)
+	rng := w.Rand()
+	var tick func()
+	tick = func() {
+		for k := 0; k < 16; k++ {
+			from := NodeID(rng.Intn(sensors))
+			nbs := w.Neighbors(nil, from)
+			if len(nbs) == 0 {
+				continue
+			}
+			to := nbs[rng.Intn(len(nbs))]
+			w.Send(from, to, energy.Communication, func(o Outcome) {
+				if o == Delivered {
+					w.AliveNeighbors(nil, to)
+				}
+			})
+		}
+		if w.Now() < 3*time.Second {
+			w.Sched.After(50*time.Millisecond, tick)
+		}
+	}
+	w.Sched.After(0, tick)
+	w.Sched.RunUntil(4 * time.Second)
+	st := w.Stats()
+	if st.DrainWarms == 0 {
+		t.Fatal("no cache warms: parallel drain path not exercised")
+	}
+	if st.DrainWarmHits == 0 {
+		t.Fatal("no warm consumed at commit time")
+	}
+	if ds := w.Sched.DrainStats(); ds.Batches == 0 || ds.BatchedEvents == 0 {
+		t.Fatalf("no parallel batches formed: %+v", ds)
+	}
+}
+
+// TestAfterNode pins the tagged single-node timer helper: same semantics as
+// Sched.After, cancellable, negative delays coerced.
+func TestAfterNode(t *testing.T) {
+	w := testWorld(t, []geo.Point{{X: 0, Y: 0}, {X: 50, Y: 0}}, 100)
+	w.SetDrainParallelism(2)
+	var at time.Duration = -1
+	if _, err := w.AfterNode(10*time.Millisecond, 0, func() { at = w.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	h, err := w.AfterNode(-5*time.Millisecond, 1, func() { t.Error("cancelled timer fired") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Cancel() {
+		t.Fatal("cancel reported not pending")
+	}
+	w.Sched.Run()
+	if at != 10*time.Millisecond {
+		t.Fatalf("timer fired at %v, want 10ms", at)
+	}
+}
+
+// TestAddNodeDisablesTagging pins the SetDrainParallelism ordering contract:
+// a later AddNode invalidates the claim geometry and turns tagging off.
+func TestAddNodeDisablesTagging(t *testing.T) {
+	w := testWorld(t, []geo.Point{{X: 0, Y: 0}, {X: 50, Y: 0}}, 100)
+	w.SetDrainParallelism(4)
+	if !w.drainTag {
+		t.Fatal("tagging not enabled")
+	}
+	w.AddNode(Sensor, mobility.Static{P: geo.Point{X: 100, Y: 0}}, 100, 0)
+	if w.drainTag {
+		t.Fatal("AddNode after SetDrainParallelism must disable tagging")
+	}
+	if w.DrainParallelism() != 4 {
+		t.Fatalf("drain parallelism = %d, want 4", w.DrainParallelism())
+	}
+}
+
+// firstDiff returns a context window around the first differing line.
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d:\n  ref: %s\n  got: %s", i, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("length mismatch: %d vs %d lines", len(la), len(lb))
+}

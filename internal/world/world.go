@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"refer/internal/des"
@@ -223,6 +224,17 @@ type World struct {
 	// one; the periodic credit/sleep cycle is scheduled iff non-nil.
 	harvest *energy.HarvestingModel
 
+	// Batched-drain state (drain.go): drainTag gates conflict tagging of
+	// radio events, tileSize is the claim tile geometry, prepFn the shared
+	// prepare callback, warmScratch the per-worker Within scratch, and
+	// drainWarms the warm counter — atomic because prepare workers bump it
+	// off the commit goroutine (the only such counter in the world).
+	drainTag    bool
+	tileSize    float64
+	prepFn      des.PrepFunc
+	warmScratch [][]int
+	drainWarms  atomic.Uint64
+
 	stats Stats
 }
 
@@ -244,6 +256,12 @@ type nodeCache struct {
 	alive      []NodeID
 	aliveGen   uint64
 	aliveValid bool
+	// warmed marks content precomputed by a drain prepare for exactly
+	// virtual time warmAt (drain.go); the commit-time query consumes it in
+	// place of a rebuild when the times match, and any rebuild or consume
+	// clears the mark so stale warm content can never be served.
+	warmed bool
+	warmAt time.Duration
 }
 
 // Stats counts the world's spatial-index work for observability: how often
@@ -275,10 +293,22 @@ type Stats struct {
 	// once; -1 means the event never happened.
 	FirstDeathAt time.Duration
 	HalfDeadAt   time.Duration
+	// DrainWarms and DrainWarmHits count the batched drain's cache
+	// prepares and how many were consumed by commit-time queries. Unlike
+	// every other counter they depend on the drain parallelism and batch
+	// geometry — observability only, stripped from anything byte-compared
+	// across parallelism levels (every other counter above stays
+	// deterministic per seed at any setting).
+	DrainWarms    uint64
+	DrainWarmHits uint64
 }
 
 // Stats returns a snapshot of the world's spatial-index counters.
-func (w *World) Stats() Stats { return w.stats }
+func (w *World) Stats() Stats {
+	st := w.stats
+	st.DrainWarms = w.drainWarms.Load()
+	return st
+}
 
 // gridStaleTol is the position-staleness tolerance in meters: the spatial
 // index is rebuilt only once any node can have moved this far since the
@@ -346,7 +376,7 @@ func (w *World) scheduleEnergyCycle() {
 				w.stats.EnergyHarvested += banked
 				if n.drained && !n.Meter.Depleted() {
 					n.drained = false
-					w.aliveGen++
+					w.bumpAliveGen()
 					w.depletedNow--
 					w.stats.NodeRevivals++
 				}
@@ -371,13 +401,21 @@ func (w *World) mustAt(at time.Duration, fn func()) {
 	}
 }
 
+// bumpAliveGen records that some node's Alive() can have flipped. Every
+// liveness transition funnels through here so the batched drain's snapshot
+// guard (des.InvalidateReads) sees exactly the aliveGen epochs.
+func (w *World) bumpAliveGen() {
+	w.aliveGen++
+	w.Sched.InvalidateReads()
+}
+
 // setAsleep flips a node's duty-cycle sleep state, folding the Alive
 // transition into aliveGen so cached alive subsets notice it.
 func (w *World) setAsleep(id NodeID, asleep bool) {
 	n := w.nodes[id]
 	if n.asleep != asleep {
 		n.asleep = asleep
-		w.aliveGen++
+		w.bumpAliveGen()
 	}
 }
 
@@ -431,6 +469,11 @@ func (w *World) AddNode(kind Kind, mob mobility.Model, radioRange, battery float
 	}
 	w.topoGen++
 	w.gridOK = false
+	// Claim tile geometry is derived from the maximum radio range at
+	// SetDrainParallelism time; a later AddNode invalidates it, so tagging
+	// turns off until the caller re-enables it (already-tagged events keep
+	// their mutually consistent claims).
+	w.drainTag = false
 	return n
 }
 
@@ -501,7 +544,7 @@ func (w *World) SetFailed(id NodeID, failed bool) {
 	n := w.nodes[id]
 	if n.failed != failed {
 		n.failed = failed
-		w.aliveGen++
+		w.bumpAliveGen()
 		if failed {
 			w.stats.FaultInjections++
 		} else {
@@ -550,7 +593,7 @@ func (w *World) DrainBattery(id NodeID, fraction float64) float64 {
 func (w *World) noteDepletion(n *Node) {
 	if !n.drained && n.Meter.Depleted() {
 		n.drained = true
-		w.aliveGen++
+		w.bumpAliveGen()
 		w.depletedNow++
 		w.stats.NodeDeaths++
 		now := w.Sched.Now()
@@ -643,6 +686,19 @@ func (w *World) neighborCache(from NodeID) *nodeCache {
 		w.stats.NeighborHits++
 		return c
 	}
+	if c.warmed && c.gen == w.topoGen && c.warmAt == now {
+		// A drain prepare computed exactly this entry (warm content is a
+		// pure function of time and topology, identical to the rebuild
+		// below). Consuming it counts as the rebuild the serial run would
+		// perform here, so the counters stay byte-identical.
+		c.warmed = false
+		c.at = now
+		c.valid = true
+		w.stats.NeighborRebuilds++
+		w.stats.DrainWarmHits++
+		return c
+	}
+	c.warmed = false
 	w.stats.NeighborRebuilds++
 	if w.borrowShadows != nil {
 		w.verifyBorrowedNeighbors(from, c)
@@ -795,7 +851,19 @@ func (w *World) Send(from, to NodeID, ledger energy.Ledger, onDone func(Outcome)
 		if onDone == nil {
 			return
 		}
-		if _, err := w.Sched.At(at, func() { onDone(o) }); err != nil {
+		fn := func() { onDone(o) }
+		if w.drainTag {
+			// Tag the completion with both endpoints' claim tiles: the
+			// continuation typically forwards from one of them, so the
+			// drain prepare warms both neighbor caches.
+			if claims, ok := w.sendClaims(from, to, at); ok {
+				if _, err := w.Sched.AtTagged(at, claims, w.prepFn, int32(from), int32(to), fn); err != nil {
+					panic(fmt.Sprintf("world: send completion: %v", err))
+				}
+				return
+			}
+		}
+		if _, err := w.Sched.At(at, fn); err != nil {
 			// Scheduling in the past cannot happen: at >= now by construction.
 			panic(fmt.Sprintf("world: send completion: %v", err))
 		}
@@ -852,10 +920,20 @@ func (w *World) Broadcast(from NodeID, ledger energy.Ledger, deliver func(to Nod
 	for _, id := range targets {
 		id := id
 		w.chargeRx(w.nodes[id], ledger)
-		if deliver != nil {
-			if _, err := w.Sched.At(end, func() { deliver(id) }); err != nil {
-				panic(fmt.Sprintf("world: broadcast delivery: %v", err))
+		if deliver == nil {
+			continue
+		}
+		fn := func() { deliver(id) }
+		if w.drainTag {
+			if claims, ok := w.nodeClaims(id, end); ok {
+				if _, err := w.Sched.AtTagged(end, claims, w.prepFn, int32(id), -1, fn); err != nil {
+					panic(fmt.Sprintf("world: broadcast delivery: %v", err))
+				}
+				continue
 			}
+		}
+		if _, err := w.Sched.At(end, fn); err != nil {
+			panic(fmt.Sprintf("world: broadcast delivery: %v", err))
 		}
 	}
 	return len(targets)
@@ -903,7 +981,7 @@ func (w *World) Flood(origin NodeID, ttl int, ledger energy.Ledger, visit FloodV
 			copy(nbPath, path)
 			nbPath[len(path)] = nb
 			outstanding++
-			if _, err := w.Sched.At(end, func() {
+			fn := func() {
 				outstanding--
 				cont := true
 				if visit != nil {
@@ -915,8 +993,23 @@ func (w *World) Flood(origin NodeID, ttl int, ledger energy.Ledger, visit FloodV
 				if outstanding == 0 {
 					finish()
 				}
-			}); err != nil {
-				panic(fmt.Sprintf("world: flood delivery: %v", err))
+			}
+			scheduled := false
+			if w.drainTag {
+				// The visit and any rebroadcast read nb's neighborhood;
+				// the shared flood state (seen, outstanding) is only
+				// touched at commit, so tagging stays safe.
+				if claims, ok := w.nodeClaims(nb, end); ok {
+					if _, err := w.Sched.AtTagged(end, claims, w.prepFn, int32(nb), -1, fn); err != nil {
+						panic(fmt.Sprintf("world: flood delivery: %v", err))
+					}
+					scheduled = true
+				}
+			}
+			if !scheduled {
+				if _, err := w.Sched.At(end, fn); err != nil {
+					panic(fmt.Sprintf("world: flood delivery: %v", err))
+				}
 			}
 		}
 	}
